@@ -1,0 +1,28 @@
+//! Figure 6 / Table 1 bench: one compressed end-user overhead run per
+//! deployment variant, measured end to end (workload generation, application
+//! simulation, engine enactment).
+
+use bifrost_casestudy::{OverheadExperiment, Variant};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_overhead_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_table1_end_user_overhead");
+    group.sample_size(10);
+    for variant in Variant::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(variant.label()),
+            &variant,
+            |b, &variant| {
+                b.iter(|| {
+                    let experiment = OverheadExperiment::compressed();
+                    let run = experiment.run_variant(variant);
+                    criterion::black_box(run.recorder.mean_ms(None))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead_variants);
+criterion_main!(benches);

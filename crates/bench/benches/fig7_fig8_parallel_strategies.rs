@@ -1,0 +1,25 @@
+//! Figures 7 & 8 bench: enacting an increasing number of parallel strategies
+//! on a single-core engine (CPU utilisation and enactment delay are reported
+//! by the `experiments` binary; the bench measures the wall-clock cost of the
+//! simulation itself at several sweep points).
+
+use bifrost_bench::fig7_fig8;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_parallel_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_fig8_parallel_strategies");
+    group.sample_size(10);
+    for strategies in [1usize, 10, 50, 100] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategies),
+            &strategies,
+            |b, &strategies| {
+                b.iter(|| criterion::black_box(fig7_fig8::run_point(strategies)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_strategies);
+criterion_main!(benches);

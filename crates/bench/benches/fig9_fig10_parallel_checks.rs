@@ -1,0 +1,19 @@
+//! Figures 9 & 10 bench: a single strategy with an increasing number of
+//! parallel checks on a single-core engine.
+
+use bifrost_bench::fig9_fig10;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_parallel_checks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_fig10_parallel_checks");
+    group.sample_size(10);
+    for checks in [8usize, 160, 800, 1_600] {
+        group.bench_with_input(BenchmarkId::from_parameter(checks), &checks, |b, &checks| {
+            b.iter(|| criterion::black_box(fig9_fig10::run_point(checks)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_checks);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! The experiment harness binary: regenerates every table and figure of the
+//! paper's evaluation section.
+//!
+//! ```text
+//! experiments fig6     [--quick]        response-time timeline (Figure 6)
+//! experiments table1   [--quick]        per-phase statistics (Table 1)
+//! experiments fig7 | fig8 [--max N]     parallel strategies (Figures 7 & 8)
+//! experiments fig9 | fig10 [--max N]    parallel checks (Figures 9 & 10)
+//! experiments all      [--quick]        everything above
+//! ```
+//!
+//! `--quick` runs the compressed timeline (shorter phases, same structure);
+//! without it the paper-length 380-second experiment timeline is simulated.
+//! Everything runs in virtual time, so even the full sweeps finish in
+//! seconds to minutes of wall-clock time.
+
+use bifrost_bench::report;
+use bifrost_bench::{fig6, fig7_fig8, fig9_fig10, table1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    let quick = args.iter().any(|a| a == "--quick");
+    let max = args
+        .iter()
+        .position(|a| a == "--max")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
+
+    match command {
+        "fig6" => {
+            let series = fig6::run(quick);
+            print!("{}", report::render_fig6(&series));
+            print!("{}", report::render_expectations(&series));
+        }
+        "table1" => {
+            let rows = table1::run(quick);
+            print!("{}", report::render_table1(&rows));
+        }
+        "fig7" | "fig8" | "fig7_fig8" => {
+            let max = max.unwrap_or(if quick { 60 } else { 130 });
+            let points = fig7_fig8::run(max);
+            print!("{}", report::render_fig7_fig8(&points));
+        }
+        "fig9" | "fig10" | "fig9_fig10" => {
+            let max = max.unwrap_or(if quick { 400 } else { 1_600 });
+            let points = fig9_fig10::run(max);
+            print!("{}", report::render_fig9_fig10(&points));
+        }
+        "all" => {
+            let series = fig6::run(quick);
+            print!("{}", report::render_fig6(&series));
+            print!("{}", report::render_expectations(&series));
+            let rows = table1::run(quick);
+            print!("{}", report::render_table1(&rows));
+            let points = fig7_fig8::run(max.unwrap_or(if quick { 60 } else { 130 }));
+            print!("{}", report::render_fig7_fig8(&points));
+            let points = fig9_fig10::run(max.unwrap_or(if quick { 400 } else { 1_600 }));
+            print!("{}", report::render_fig9_fig10(&points));
+        }
+        "help" | "--help" | "-h" => {
+            eprintln!("usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|all> [--quick] [--max N]");
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|all> [--quick] [--max N]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # bifrost-bench
+//!
+//! Experiment harnesses that regenerate every table and figure of the
+//! paper's evaluation section, plus helpers shared by the Criterion
+//! benchmarks and the `experiments` binary.
+//!
+//! | Paper artifact | Harness |
+//! |---|---|
+//! | Figure 6 (response-time timeline) | [`fig6::run`] |
+//! | Table 1 (per-phase response-time statistics) | [`table1::run`] |
+//! | Figure 7 (engine CPU vs parallel strategies) | [`fig7_fig8::run`] |
+//! | Figure 8 (enactment delay vs parallel strategies) | [`fig7_fig8::run`] |
+//! | Figure 9 (engine CPU vs parallel checks) | [`fig9_fig10::run`] |
+//! | Figure 10 (enactment delay vs parallel checks) | [`fig9_fig10::run`] |
+//!
+//! Each harness returns plain data structures so the binary can print them
+//! as text tables and tests can assert on the qualitative shape (who wins,
+//! where saturation starts) without pinning absolute numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod engine_experiments;
+pub mod overhead_experiments;
+pub mod report;
+
+pub use engine_experiments::{fig7_fig8, fig9_fig10, ParallelChecksPoint, ParallelStrategiesPoint};
+pub use overhead_experiments::{fig6, table1, Fig6Series, Table1Row};
+pub use report::{format_series, format_table};

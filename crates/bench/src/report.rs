@@ -1,0 +1,239 @@
+//! Text rendering of experiment results (the `experiments` binary's output).
+
+use crate::engine_experiments::{ParallelChecksPoint, ParallelStrategiesPoint};
+use crate::overhead_experiments::{Fig6Series, Table1Row};
+use bifrost_casestudy::Variant;
+use bifrost_metrics::bin_average;
+use std::fmt::Write as _;
+
+/// Formats a `(x, y)` series as a compact two-column table, optionally
+/// down-sampled into bins of `bin_width` on the x axis.
+pub fn format_series(title: &str, series: &[(f64, f64)], bin_width: f64) -> String {
+    let mut out = format!("# {title}\n");
+    let points = if bin_width > 0.0 {
+        bin_average(series, bin_width)
+    } else {
+        series.to_vec()
+    };
+    for (x, y) in points {
+        let _ = writeln!(out, "{x:>10.1} {y:>10.2}");
+    }
+    out
+}
+
+/// Formats rows of label/values pairs as an aligned table.
+pub fn format_table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = format!("# {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(cell, width)| format!("{cell:>width$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    let _ = writeln!(out, "{}", render_row(&header_cells, &widths));
+    for row in rows {
+        let _ = writeln!(out, "{}", render_row(row, &widths));
+    }
+    out
+}
+
+/// Renders Figure 6: one down-sampled series per variant.
+pub fn render_fig6(series: &[Fig6Series]) -> String {
+    let mut out = String::from("== Figure 6: end-user response time (3 s moving average) ==\n");
+    for entry in series {
+        out.push_str(&format_series(
+            &format!("variant: {}", entry.variant.label()),
+            &entry.series,
+            10.0,
+        ));
+        for (phase, mean) in &entry.phase_means {
+            let _ = writeln!(out, "    {phase:<16} mean {mean:>7.2} ms");
+        }
+    }
+    out
+}
+
+/// Renders Table 1 in the paper's layout (phases as column groups).
+pub fn render_table1(rows: &[Table1Row]) -> String {
+    let mut table_rows = Vec::new();
+    for row in rows {
+        table_rows.push(vec![
+            row.phase.clone(),
+            row.variant.label().to_string(),
+            format!("{:.2}", row.stats.mean),
+            format!("{:.2}", row.stats.min),
+            format!("{:.2}", row.stats.max),
+            format!("{:.2}", row.stats.sd),
+            format!("{:.2}", row.stats.median),
+        ]);
+    }
+    format_table(
+        "Table 1: response-time statistics per phase and variant (ms)",
+        &["phase", "variant", "mean", "min", "max", "sd", "median"],
+        &table_rows,
+    )
+}
+
+/// Renders Figures 7 and 8 (CPU utilisation and delay vs parallel
+/// strategies).
+pub fn render_fig7_fig8(points: &[ParallelStrategiesPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.strategies.to_string(),
+                format!("{:.1}", p.cpu_utilization.median),
+                format!("{:.1}", p.cpu_utilization.mean),
+                format!("{:.1}", p.cpu_utilization.max),
+                format!("{:.2}", p.delay_secs.mean),
+                format!("{:.2}", p.delay_secs.sd),
+                format!("{}/{}", p.succeeded, p.strategies),
+            ]
+        })
+        .collect();
+    format_table(
+        "Figures 7 & 8: engine CPU utilisation and enactment delay vs parallel strategies",
+        &[
+            "strategies",
+            "cpu-median%",
+            "cpu-mean%",
+            "cpu-max%",
+            "delay-mean-s",
+            "delay-sd-s",
+            "succeeded",
+        ],
+        &rows,
+    )
+}
+
+/// Renders Figures 9 and 10 (CPU utilisation and delay vs parallel checks).
+pub fn render_fig9_fig10(points: &[ParallelChecksPoint]) -> String {
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.checks.to_string(),
+                format!("{:.1}", p.cpu_utilization.median),
+                format!("{:.1}", p.cpu_utilization.mean),
+                format!("{:.1}", p.cpu_utilization.max),
+                format!("{:.2}", p.delay_secs),
+                p.succeeded.to_string(),
+            ]
+        })
+        .collect();
+    format_table(
+        "Figures 9 & 10: engine CPU utilisation and enactment delay vs parallel checks",
+        &["checks", "cpu-median%", "cpu-mean%", "cpu-max%", "delay-s", "succeeded"],
+        &rows,
+    )
+}
+
+/// A short paper-vs-measured comparison block used by the `experiments`
+/// binary to make EXPERIMENTS.md reproducible from one command.
+pub fn render_expectations(series: &[Fig6Series]) -> String {
+    let mean = |variant: Variant| -> Option<f64> {
+        let s = series.iter().find(|s| s.variant == variant)?;
+        Some(s.series.iter().map(|(_, v)| *v).sum::<f64>() / s.series.len() as f64)
+    };
+    let mut out = String::from("== Paper vs measured (qualitative checks) ==\n");
+    if let (Some(base), Some(inactive), Some(active)) = (
+        mean(Variant::Baseline),
+        mean(Variant::Inactive),
+        mean(Variant::Active),
+    ) {
+        let _ = writeln!(
+            out,
+            "baseline {base:.1} ms < inactive {inactive:.1} ms (proxy overhead {:.1} ms, paper: ~8 ms)",
+            inactive - base
+        );
+        let _ = writeln!(
+            out,
+            "active mean {active:.1} ms (paper: canary/rollout ≈ inactive, dark launch higher, A/B lower)"
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bifrost_metrics::SummaryStats;
+
+    fn stats(mean: f64) -> SummaryStats {
+        SummaryStats {
+            count: 10,
+            mean,
+            min: mean - 1.0,
+            max: mean + 1.0,
+            sd: 0.5,
+            median: mean,
+        }
+    }
+
+    #[test]
+    fn series_formatting_bins_points() {
+        let series: Vec<(f64, f64)> = (0..100).map(|i| (i as f64, 10.0)).collect();
+        let text = format_series("test", &series, 10.0);
+        assert!(text.starts_with("# test"));
+        assert_eq!(text.lines().count(), 11);
+        let raw = format_series("raw", &series, 0.0);
+        assert_eq!(raw.lines().count(), 101);
+    }
+
+    #[test]
+    fn table_formatting_aligns_columns() {
+        let rows = vec![
+            vec!["1".to_string(), "22.5".to_string()],
+            vec!["100".to_string(), "3.0".to_string()],
+        ];
+        let text = format_table("t", &["n", "value"], &rows);
+        assert!(text.contains("n"));
+        assert!(text.contains("value"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn render_helpers_produce_nonempty_output() {
+        let rows = vec![Table1Row {
+            phase: "Canary".into(),
+            variant: Variant::Baseline,
+            stats: stats(22.7),
+        }];
+        assert!(render_table1(&rows).contains("Canary"));
+
+        let f78 = vec![ParallelStrategiesPoint {
+            strategies: 10,
+            cpu_utilization: stats(20.0),
+            delay_secs: stats(1.0),
+            succeeded: 10,
+        }];
+        assert!(render_fig7_fig8(&f78).contains("10/10"));
+
+        let f910 = vec![ParallelChecksPoint {
+            checks: 80,
+            cpu_utilization: stats(30.0),
+            delay_secs: 2.0,
+            succeeded: true,
+        }];
+        assert!(render_fig9_fig10(&f910).contains("80"));
+
+        let fig6 = vec![Fig6Series {
+            variant: Variant::Active,
+            series: vec![(0.0, 30.0), (1.0, 31.0)],
+            phase_means: vec![("Canary".into(), 30.5)],
+        }];
+        assert!(render_fig6(&fig6).contains("active"));
+        assert!(render_expectations(&fig6).contains("Paper vs measured"));
+    }
+}

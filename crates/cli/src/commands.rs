@@ -1,0 +1,466 @@
+//! CLI commands: argument parsing and command execution.
+
+use crate::dashboard::Dashboard;
+use bifrost_casestudy::prelude::*;
+use bifrost_engine::{BifrostEngine, EngineConfig};
+use bifrost_metrics::SharedMetricStore;
+use bifrost_simnet::SimTime;
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::PathBuf;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The arguments did not match any command; carries the usage text.
+    Usage(String),
+    /// A strategy file could not be read.
+    Io {
+        /// The file that failed to load.
+        path: PathBuf,
+        /// The underlying error message.
+        message: String,
+    },
+    /// The strategy file failed to parse or compile.
+    Dsl(bifrost_dsl::DslError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(usage) => write!(f, "{usage}"),
+            CliError::Io { path, message } => {
+                write!(f, "cannot read '{}': {message}", path.display())
+            }
+            CliError::Dsl(err) => write!(f, "invalid strategy: {err}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<bifrost_dsl::DslError> for CliError {
+    fn from(err: bifrost_dsl::DslError) -> Self {
+        CliError::Dsl(err)
+    }
+}
+
+/// The usage text shown for `--help` and argument errors.
+pub const USAGE: &str = "bifrost — automated enactment of multi-phase live testing strategies
+
+USAGE:
+    bifrost validate <strategy.yml>     check a strategy file and print its summary
+    bifrost dot <strategy.yml>          render the strategy's automaton as Graphviz dot
+    bifrost run <strategy.yml> [--verbose] [--deadline <secs>]
+                                        enact the strategy against the simulated deployment
+    bifrost demo [--verbose]            run the product-replacement evaluation scenario
+    bifrost help                        show this message";
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Validate a strategy file.
+    Validate {
+        /// Path to the strategy file.
+        path: PathBuf,
+    },
+    /// Render a strategy's automaton as Graphviz dot.
+    Dot {
+        /// Path to the strategy file.
+        path: PathBuf,
+    },
+    /// Enact a strategy against the simulated deployment.
+    Run {
+        /// Path to the strategy file.
+        path: PathBuf,
+        /// Show individual check executions.
+        verbose: bool,
+        /// Virtual-time deadline in seconds.
+        deadline_secs: u64,
+    },
+    /// Run the built-in product-replacement demo scenario.
+    Demo {
+        /// Show individual check executions.
+        verbose: bool,
+    },
+    /// Print the usage text.
+    Help,
+}
+
+impl Command {
+    /// Parses process arguments (without the binary name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CliError::Usage`] when the arguments do not form a valid
+    /// command.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut iter = args.iter().map(String::as_str);
+        match iter.next() {
+            None | Some("help") | Some("--help") | Some("-h") => Ok(Command::Help),
+            Some("validate") => {
+                let path = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
+                Ok(Command::Validate { path: path.into() })
+            }
+            Some("dot") => {
+                let path = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
+                Ok(Command::Dot { path: path.into() })
+            }
+            Some("run") => {
+                let path = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
+                let mut verbose = false;
+                let mut deadline_secs = 7 * 24 * 3_600;
+                let rest: Vec<&str> = iter.collect();
+                let mut i = 0;
+                while i < rest.len() {
+                    match rest[i] {
+                        "--verbose" | "-v" => verbose = true,
+                        "--deadline" => {
+                            i += 1;
+                            deadline_secs = rest
+                                .get(i)
+                                .and_then(|s| s.parse().ok())
+                                .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
+                        }
+                        _ => return Err(CliError::Usage(USAGE.to_string())),
+                    }
+                    i += 1;
+                }
+                Ok(Command::Run {
+                    path: path.into(),
+                    verbose,
+                    deadline_secs,
+                })
+            }
+            Some("demo") => {
+                let verbose = iter.any(|a| a == "--verbose" || a == "-v");
+                Ok(Command::Demo { verbose })
+            }
+            Some(other) => Err(CliError::Usage(format!(
+                "unknown command '{other}'\n\n{USAGE}"
+            ))),
+        }
+    }
+}
+
+/// The result of executing a command: the text to print and the exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandOutput {
+    /// Text to print to stdout.
+    pub text: String,
+    /// Process exit code (0 = success).
+    pub exit_code: i32,
+}
+
+impl CommandOutput {
+    fn ok(text: impl Into<String>) -> Self {
+        Self {
+            text: text.into(),
+            exit_code: 0,
+        }
+    }
+}
+
+/// Executes a parsed command.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for unreadable files or invalid strategy documents.
+pub fn run_command(command: &Command) -> Result<CommandOutput, CliError> {
+    match command {
+        Command::Help => Ok(CommandOutput::ok(USAGE)),
+        Command::Validate { path } => {
+            let strategy = load_strategy(path)?;
+            let mut text = format!(
+                "strategy '{}' is valid\n  services: {}\n  versions: {}\n  states: {}\n  nominal duration: {:.0}s\n",
+                strategy.name(),
+                strategy.services().service_count(),
+                strategy.services().version_count(),
+                strategy.automaton().state_count(),
+                strategy.nominal_duration().as_secs_f64(),
+            );
+            for (id, state) in strategy.automaton().states() {
+                text.push_str(&format!(
+                    "  {} '{}' ({} checks, {:.0}s)\n",
+                    id,
+                    state.name(),
+                    state.checks().len(),
+                    state.duration().as_secs_f64()
+                ));
+            }
+            Ok(CommandOutput::ok(text))
+        }
+        Command::Dot { path } => {
+            let strategy = load_strategy(path)?;
+            Ok(CommandOutput::ok(strategy.automaton().to_dot()))
+        }
+        Command::Run {
+            path,
+            verbose,
+            deadline_secs,
+        } => {
+            let strategy = load_strategy(path)?;
+            let output = enact_strategy(strategy, *verbose, *deadline_secs);
+            Ok(output)
+        }
+        Command::Demo { verbose } => Ok(run_demo(*verbose)),
+    }
+}
+
+fn load_strategy(path: &PathBuf) -> Result<bifrost_core::Strategy, CliError> {
+    let source = fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.clone(),
+        message: e.to_string(),
+    })?;
+    Ok(bifrost_dsl::parse_strategy(&source)?)
+}
+
+/// Enacts a compiled strategy against an engine with an in-process metric
+/// store. Because no application feeds the store, checks without data fail,
+/// which makes this mode most useful for dry-running strategies whose phases
+/// have explicit durations and no checks, and for inspecting the enactment
+/// timeline.
+fn enact_strategy(
+    strategy: bifrost_core::Strategy,
+    verbose: bool,
+    deadline_secs: u64,
+) -> CommandOutput {
+    let store = SharedMetricStore::new();
+    let mut engine = BifrostEngine::new(EngineConfig::default());
+    engine.register_store_provider("prometheus", store);
+    // Register one proxy per service, defaulting to the first version.
+    let registrations: Vec<_> = strategy
+        .services()
+        .services()
+        .map(|(id, _)| (id, strategy.services().versions_of(id)))
+        .collect();
+    for (service, versions) in registrations {
+        if let Some(default) = versions.first() {
+            engine.register_proxy(service, *default);
+        }
+    }
+    let handle = engine.schedule(strategy, SimTime::ZERO);
+    engine.run_to_completion(SimTime::from_secs(deadline_secs));
+    let dashboard = Dashboard::new().verbose(verbose);
+    let mut text = dashboard.render(&engine);
+    let exit_code = match engine.report(handle) {
+        Some(report) if report.succeeded() => 0,
+        Some(_) => 1,
+        None => 2,
+    };
+    text.push_str(&dashboard.progress_line(&engine));
+    text.push('\n');
+    CommandOutput { text, exit_code }
+}
+
+/// Runs the compressed product-replacement scenario end to end (load
+/// generation, application, engine) and prints the per-phase overhead table.
+fn run_demo(verbose: bool) -> CommandOutput {
+    let experiment = OverheadExperiment::compressed();
+    let baseline = experiment.run_variant(Variant::Baseline);
+    let active = experiment.run_variant(Variant::Active);
+
+    let mut text = String::from("product-replacement demo (compressed timeline)\n\n");
+    text.push_str("phase              baseline-mean  active-mean  overhead\n");
+    for window in &active.windows {
+        let base = baseline.phase_mean(&window.name).unwrap_or(f64::NAN);
+        let act = active.phase_mean(&window.name).unwrap_or(f64::NAN);
+        text.push_str(&format!(
+            "{:<18} {:>10.2}ms {:>10.2}ms {:>8.2}ms\n",
+            window.name,
+            base,
+            act,
+            act - base
+        ));
+    }
+    text.push_str(&format!(
+        "\nstrategy finished successfully: {}\n",
+        active.strategy_succeeded.unwrap_or(false)
+    ));
+    if verbose {
+        text.push_str(&format!(
+            "requests recorded: baseline={} active={}\n",
+            baseline.recorder.len(),
+            active.recorder.len()
+        ));
+    }
+    CommandOutput::ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_basic_commands() {
+        assert_eq!(Command::parse(&[]).unwrap(), Command::Help);
+        assert_eq!(Command::parse(&strings(&["help"])).unwrap(), Command::Help);
+        assert_eq!(
+            Command::parse(&strings(&["validate", "s.yml"])).unwrap(),
+            Command::Validate {
+                path: "s.yml".into()
+            }
+        );
+        assert_eq!(
+            Command::parse(&strings(&["dot", "s.yml"])).unwrap(),
+            Command::Dot {
+                path: "s.yml".into()
+            }
+        );
+        assert_eq!(
+            Command::parse(&strings(&["run", "s.yml", "--verbose", "--deadline", "600"])).unwrap(),
+            Command::Run {
+                path: "s.yml".into(),
+                verbose: true,
+                deadline_secs: 600
+            }
+        );
+        assert_eq!(
+            Command::parse(&strings(&["demo", "-v"])).unwrap(),
+            Command::Demo { verbose: true }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_unknown_and_incomplete_commands() {
+        assert!(matches!(
+            Command::parse(&strings(&["frobnicate"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(Command::parse(&strings(&["validate"])).is_err());
+        assert!(Command::parse(&strings(&["run", "s.yml", "--deadline"])).is_err());
+        assert!(Command::parse(&strings(&["run", "s.yml", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn help_command_prints_usage() {
+        let output = run_command(&Command::Help).unwrap();
+        assert_eq!(output.exit_code, 0);
+        assert!(output.text.contains("USAGE"));
+    }
+
+    #[test]
+    fn validate_and_dot_and_run_on_a_real_file() {
+        let dir = std::env::temp_dir().join(format!("bifrost-cli-test-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("strategy.yml");
+        fs::write(
+            &path,
+            r#"
+name: cli-test
+strategy:
+  phases:
+    - phase: canary
+      service: search
+      stable: v1
+      candidate: v2
+      traffic: 5
+      duration: 30
+    - phase: ab_test
+      service: search
+      a: v1
+      b: v2
+      duration: 30
+"#,
+        )
+        .unwrap();
+
+        let validate = run_command(&Command::Validate { path: path.clone() }).unwrap();
+        assert_eq!(validate.exit_code, 0);
+        assert!(validate.text.contains("cli-test"));
+        assert!(validate.text.contains("states: 4"));
+
+        let dot = run_command(&Command::Dot { path: path.clone() }).unwrap();
+        assert!(dot.text.starts_with("digraph"));
+
+        let run = run_command(&Command::Run {
+            path: path.clone(),
+            verbose: false,
+            deadline_secs: 3_600,
+        })
+        .unwrap();
+        // The strategy has no checks, so it auto-passes and succeeds.
+        assert_eq!(run.exit_code, 0, "output: {}", run.text);
+        assert!(run.text.contains("strategies finished"));
+
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = run_command(&Command::Validate {
+            path: "/definitely/not/here.yml".into(),
+        })
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }));
+        assert!(err.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn invalid_file_is_reported_as_dsl_error() {
+        let dir = std::env::temp_dir().join(format!("bifrost-cli-bad-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.yml");
+        fs::write(&path, "name: broken\n").unwrap();
+        let err = run_command(&Command::Validate { path: path.clone() }).unwrap_err();
+        assert!(matches!(err, CliError::Dsl(_)));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn demo_runs_and_reports_phases() {
+        let output = run_command(&Command::Demo { verbose: true }).unwrap();
+        assert_eq!(output.exit_code, 0);
+        assert!(output.text.contains("Canary"));
+        assert!(output.text.contains("Dark Launch"));
+        assert!(output.text.contains("requests recorded"));
+    }
+
+    #[test]
+    fn run_deadline_is_virtual_time_not_wall_clock() {
+        // A week-long strategy enacts in well under a second of wall time.
+        let dir = std::env::temp_dir().join(format!("bifrost-cli-long-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("long.yml");
+        fs::write(
+            &path,
+            r#"
+name: long-running
+strategy:
+  phases:
+    - phase: rollout
+      service: search
+      stable: v1
+      candidate: v2
+      from_traffic: 10
+      to_traffic: 100
+      step: 10
+      step_duration: 86400
+"#,
+        )
+        .unwrap();
+        let started = std::time::Instant::now();
+        let output = run_command(&Command::Run {
+            path,
+            verbose: false,
+            deadline_secs: 30 * 86_400,
+        })
+        .unwrap();
+        assert_eq!(output.exit_code, 0);
+        assert!(started.elapsed() < Duration::from_secs(10));
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,145 @@
+//! A text dashboard rendering the engine's event stream.
+//!
+//! The paper's Bifrost dashboard is a web UI fed through WebSockets; this
+//! reproduction renders the same information — strategy status, state
+//! transitions, check results, proxy updates — as plain text suitable for a
+//! terminal or a CI log.
+
+use bifrost_engine::{BifrostEngine, EngineEvent, StrategyReport};
+use std::fmt::Write as _;
+
+/// Renders engine state into human-readable status text.
+#[derive(Debug, Clone, Default)]
+pub struct Dashboard {
+    /// Show individual check executions (verbose mode).
+    pub verbose: bool,
+}
+
+impl Dashboard {
+    /// Creates a dashboard with default (non-verbose) settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables verbose output (builder style).
+    pub fn verbose(mut self, verbose: bool) -> Self {
+        self.verbose = verbose;
+        self
+    }
+
+    /// Renders the full status of an engine: one block per strategy plus the
+    /// recent event tail.
+    pub fn render(&self, engine: &BifrostEngine) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "bifrost engine @ {}", engine.now());
+        let reports = engine.reports();
+        let _ = writeln!(out, "strategies: {}", reports.len());
+        for report in &reports {
+            let _ = writeln!(out, "  {}", self.render_report(&report));
+        }
+        let _ = writeln!(out, "events: {}", engine.events().len());
+        for event in self.interesting_events(engine) {
+            let _ = writeln!(out, "  {}", event.describe());
+        }
+        out
+    }
+
+    /// Renders a single strategy report line.
+    pub fn render_report(&self, report: &StrategyReport) -> String {
+        report.summary()
+    }
+
+    /// The events worth showing: everything in verbose mode, otherwise only
+    /// lifecycle events (scheduled / started / state entered / exception /
+    /// completed).
+    fn interesting_events<'a>(&self, engine: &'a BifrostEngine) -> Vec<&'a EngineEvent> {
+        engine
+            .events()
+            .events()
+            .iter()
+            .filter(|event| {
+                self.verbose
+                    || !matches!(
+                        event,
+                        EngineEvent::CheckExecuted { .. } | EngineEvent::ProxyConfigured { .. }
+                    )
+            })
+            .collect()
+    }
+
+    /// Renders a one-line progress summary (used while a run is in flight).
+    pub fn progress_line(&self, engine: &BifrostEngine) -> String {
+        let reports = engine.reports();
+        let finished = reports.iter().filter(|r| r.is_finished()).count();
+        let succeeded = reports.iter().filter(|r| r.succeeded()).count();
+        format!(
+            "{} | {}/{} strategies finished ({} succeeded)",
+            engine.now(),
+            finished,
+            reports.len(),
+            succeeded
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bifrost_core::prelude::*;
+    use bifrost_engine::EngineConfig;
+    use bifrost_metrics::SharedMetricStore;
+    use bifrost_simnet::SimTime;
+
+    fn engine_with_strategy() -> BifrostEngine {
+        let mut catalog = ServiceCatalog::new();
+        let search = catalog.add_service(Service::new("search"));
+        let stable = catalog
+            .add_version(search, ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)))
+            .unwrap();
+        let fast = catalog
+            .add_version(search, ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)))
+            .unwrap();
+        let strategy = StrategyBuilder::new("dash-test", catalog)
+            .phase(
+                PhaseSpec::canary("canary", search, stable, fast, Percentage::new(5.0).unwrap())
+                    .duration_secs(30),
+            )
+            .build()
+            .unwrap();
+        let mut engine = BifrostEngine::new(EngineConfig::default());
+        engine.register_store_provider("prometheus", SharedMetricStore::new());
+        engine.register_proxy(search, stable);
+        engine.schedule(strategy, SimTime::ZERO);
+        engine.run_until(SimTime::from_secs(120));
+        engine
+    }
+
+    #[test]
+    fn render_contains_strategy_and_events() {
+        let engine = engine_with_strategy();
+        let dashboard = Dashboard::new();
+        let text = dashboard.render(&engine);
+        assert!(text.contains("bifrost engine"));
+        assert!(text.contains("dash-test"));
+        assert!(text.contains("strategies: 1"));
+        assert!(text.contains("events:"));
+        // Non-verbose output hides check executions but shows completions.
+        assert!(text.contains("completed"));
+    }
+
+    #[test]
+    fn verbose_mode_shows_more_events() {
+        let engine = engine_with_strategy();
+        let quiet = Dashboard::new().render(&engine);
+        let verbose = Dashboard::new().verbose(true).render(&engine);
+        assert!(verbose.lines().count() >= quiet.lines().count());
+    }
+
+    #[test]
+    fn progress_line_counts_finished_strategies() {
+        let engine = engine_with_strategy();
+        let line = Dashboard::new().progress_line(&engine);
+        assert!(line.contains("1/1 strategies finished"));
+        assert!(line.contains("(1 succeeded)"));
+    }
+}

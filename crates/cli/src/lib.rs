@@ -1,0 +1,28 @@
+//! # bifrost-cli
+//!
+//! The Bifrost command-line interface: validate strategy files written in
+//! the DSL, render their automata, and enact them against the simulated
+//! deployment while streaming dashboard-style status updates.
+//!
+//! The binary (`bifrost`) is a thin wrapper around this library so that the
+//! command implementations stay unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod commands;
+pub mod dashboard;
+
+pub use commands::{run_command, CliError, Command, CommandOutput};
+pub use dashboard::Dashboard;
+
+/// Parses raw process arguments (excluding the binary name) into a command.
+///
+/// # Errors
+///
+/// Returns [`CliError::Usage`] describing the expected syntax if the
+/// arguments cannot be understood.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    commands::Command::parse(args)
+}

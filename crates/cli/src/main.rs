@@ -1,0 +1,25 @@
+//! The `bifrost` binary: parse arguments, run the command, print the result.
+
+use bifrost_cli::{parse_args, run_command};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(command) => command,
+        Err(err) => {
+            eprintln!("{err}");
+            return ExitCode::from(2);
+        }
+    };
+    match run_command(&command) {
+        Ok(output) => {
+            print!("{}", output.text);
+            ExitCode::from(output.exit_code.clamp(0, 255) as u8)
+        }
+        Err(err) => {
+            eprintln!("{err}");
+            ExitCode::from(1)
+        }
+    }
+}

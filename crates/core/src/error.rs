@@ -1,0 +1,96 @@
+//! Error type shared by the model crate.
+
+use crate::ids::{CheckId, ServiceId, StateId, VersionId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating model entities.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A percentage was outside of the inclusive `0.0..=100.0` range.
+    InvalidPercentage(f64),
+    /// A threshold tuple was empty or not strictly increasing.
+    InvalidThresholds(String),
+    /// An outcome mapping does not cover the ranges induced by the thresholds.
+    InvalidOutcomeMapping(String),
+    /// A timer was configured with a zero interval or zero repetitions.
+    InvalidTimer(String),
+    /// A weight vector does not match the number of checks or contains
+    /// non-finite values.
+    InvalidWeights(String),
+    /// A referenced service does not exist in the catalog.
+    UnknownService(ServiceId),
+    /// A referenced version does not exist (or does not belong to the given
+    /// service).
+    UnknownVersion(VersionId),
+    /// A referenced automaton state does not exist.
+    UnknownState(StateId),
+    /// A referenced check does not exist.
+    UnknownCheck(CheckId),
+    /// A duplicate entity was registered (e.g. two versions with the same
+    /// name for one service).
+    Duplicate(String),
+    /// The automaton violates a structural invariant (no start state, an
+    /// unreachable state, a transition target outside the state set, …).
+    InvalidAutomaton(String),
+    /// The strategy violates a structural invariant (empty service set,
+    /// routing rules that reference unknown versions, …).
+    InvalidStrategy(String),
+    /// The traffic split of a state does not sum up to 100 %.
+    InvalidTrafficSplit(String),
+    /// A generic validation failure with a human-readable reason.
+    Validation(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidPercentage(p) => {
+                write!(f, "percentage {p} is outside the range 0..=100")
+            }
+            ModelError::InvalidThresholds(reason) => write!(f, "invalid thresholds: {reason}"),
+            ModelError::InvalidOutcomeMapping(reason) => {
+                write!(f, "invalid outcome mapping: {reason}")
+            }
+            ModelError::InvalidTimer(reason) => write!(f, "invalid timer: {reason}"),
+            ModelError::InvalidWeights(reason) => write!(f, "invalid weights: {reason}"),
+            ModelError::UnknownService(id) => write!(f, "unknown service {id}"),
+            ModelError::UnknownVersion(id) => write!(f, "unknown version {id}"),
+            ModelError::UnknownState(id) => write!(f, "unknown state {id}"),
+            ModelError::UnknownCheck(id) => write!(f, "unknown check {id}"),
+            ModelError::Duplicate(what) => write!(f, "duplicate entity: {what}"),
+            ModelError::InvalidAutomaton(reason) => write!(f, "invalid automaton: {reason}"),
+            ModelError::InvalidStrategy(reason) => write!(f, "invalid strategy: {reason}"),
+            ModelError::InvalidTrafficSplit(reason) => {
+                write!(f, "invalid traffic split: {reason}")
+            }
+            ModelError::Validation(reason) => write!(f, "validation failed: {reason}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = ModelError::InvalidPercentage(140.0);
+        assert_eq!(err.to_string(), "percentage 140 is outside the range 0..=100");
+
+        let err = ModelError::UnknownService(ServiceId::new(4));
+        assert_eq!(err.to_string(), "unknown service svc-4");
+
+        let err = ModelError::InvalidAutomaton("no start state".into());
+        assert!(err.to_string().contains("no start state"));
+    }
+
+    #[test]
+    fn error_is_send_sync_and_std_error() {
+        fn assert_send_sync_error<T: Error + Send + Sync + 'static>() {}
+        assert_send_sync_error::<ModelError>();
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests for the invariants of the formal model.
+
+use bifrost_core::prelude::*;
+use bifrost_core::ids::UserId;
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use std::time::Duration;
+
+/// Strategy producing strictly increasing threshold vectors.
+fn thresholds_vec() -> impl proptest::strategy::Strategy<Value = Vec<i64>> {
+    proptest::collection::btree_set(-1_000i64..1_000, 1..8)
+        .prop_map(|set| set.into_iter().collect::<Vec<_>>())
+}
+
+proptest! {
+    /// Every integer value is classified into exactly one of the n+1 ranges,
+    /// and the ranges partition ℤ (classification index is monotone in the
+    /// value).
+    #[test]
+    fn thresholds_partition_the_integers(values in thresholds_vec(), probe in -2_000i64..2_000) {
+        let t = Thresholds::new(values.clone()).unwrap();
+        prop_assert_eq!(t.range_count(), values.len() + 1);
+        let idx = t.classify(probe);
+        prop_assert!(idx < t.range_count());
+        prop_assert!(t.contains(idx, probe));
+        // Bounds of the chosen range actually contain the probe.
+        let (lower, upper) = t.range_bounds(idx);
+        if let Some(l) = lower {
+            prop_assert!(probe > l);
+        }
+        if let Some(u) = upper {
+            prop_assert!(probe <= u);
+        }
+    }
+
+    /// Classification is monotone: larger values never land in a lower range.
+    #[test]
+    fn threshold_classification_is_monotone(values in thresholds_vec(), a in -2_000i64..2_000, b in -2_000i64..2_000) {
+        let t = Thresholds::new(values).unwrap();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(t.classify(lo) <= t.classify(hi));
+    }
+
+    /// An outcome mapping always returns one of its configured results.
+    #[test]
+    fn outcome_mapping_is_total(values in thresholds_vec(), probe in -2_000i64..2_000) {
+        let t = Thresholds::new(values).unwrap();
+        let results: Vec<i64> = (0..t.range_count() as i64).collect();
+        let mapping = OutcomeMapping::new(t, results.clone()).unwrap();
+        prop_assert!(results.contains(&mapping.map(probe)));
+    }
+
+    /// A canary traffic split always sums to 100 % and `pick` never selects a
+    /// version that has 0 % share (for draws in [0, 1)).
+    #[test]
+    fn canary_split_is_well_formed(share in 0.0f64..=100.0, draw in 0.0f64..1.0) {
+        let stable = VersionId::new(0);
+        let canary = VersionId::new(1);
+        let split = TrafficSplit::canary(stable, canary, Percentage::new(share).unwrap()).unwrap();
+        let total: f64 = split.shares().iter().map(|(_, p)| p.value()).sum();
+        prop_assert!((total - 100.0).abs() < 1e-9);
+        let picked = split.pick(draw);
+        if share == 0.0 {
+            prop_assert_eq!(picked, stable);
+        }
+        if share == 100.0 {
+            prop_assert_eq!(picked, canary);
+        }
+    }
+
+    /// The fraction of draws routed to the canary converges to its share.
+    #[test]
+    fn pick_distribution_tracks_share(share in 1.0f64..=99.0) {
+        let stable = VersionId::new(0);
+        let canary = VersionId::new(1);
+        let split = TrafficSplit::canary(stable, canary, Percentage::new(share).unwrap()).unwrap();
+        let n = 4_000usize;
+        let hits = (0..n)
+            .map(|i| (i as f64 + 0.5) / n as f64)
+            .filter(|&d| split.pick(d) == canary)
+            .count();
+        let measured = hits as f64 / n as f64 * 100.0;
+        prop_assert!((measured - share).abs() < 1.0, "share {share} measured {measured}");
+    }
+
+    /// Percentage selectors are monotone: raising the percentage never drops
+    /// a previously selected user (gradual rollouts only add users).
+    #[test]
+    fn selector_membership_is_monotone(user_id in 0u64..50_000, small in 0.0f64..=100.0, extra in 0.0f64..=100.0) {
+        let large = (small + extra).min(100.0);
+        let user = User::new(UserId::new(user_id));
+        let small_sel = UserSelector::percentage(Percentage::new(small).unwrap());
+        let large_sel = UserSelector::percentage(Percentage::new(large).unwrap());
+        if small_sel.selects(&user) {
+            prop_assert!(large_sel.selects(&user));
+        }
+    }
+
+    /// Weighted outcome combination is linear in the weights: doubling all
+    /// weights doubles the (untruncated) outcome, and zero weights yield 0.
+    #[test]
+    fn zero_weights_produce_zero_outcome(values in proptest::collection::vec(-10i64..10, 1..6)) {
+        let checks: Vec<CheckOutcome> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| CheckOutcome::basic(CheckId::new(i as u64), *v, 1, *v))
+            .collect();
+        let weights = vec![Weight::new(0.0).unwrap(); checks.len()];
+        let outcome = StateOutcome::combine(StateId::new(0), checks, &weights, None).unwrap();
+        prop_assert_eq!(outcome.value, 0);
+    }
+
+    /// The state transition function is total and deterministic for any
+    /// outcome value: the same value always yields the same successor, and a
+    /// successor always exists for non-final states.
+    #[test]
+    fn transition_function_is_total_and_deterministic(outcome_value in -100i64..100) {
+        let (catalog, search, stable, fast) = simple_catalog();
+        let strategy = StrategyBuilder::new("prop", catalog)
+            .phase(
+                PhaseSpec::canary("canary", search, stable, fast, Percentage::new(5.0).unwrap())
+                    .duration_secs(60),
+            )
+            .phase(
+                PhaseSpec::ab_test("ab", search, stable, fast).duration_secs(60),
+            )
+            .build()
+            .unwrap();
+        let automaton = strategy.automaton();
+        for (id, state) in automaton.states() {
+            if automaton.is_final(*id) {
+                continue;
+            }
+            let check_id = state.checks()[0].id();
+            let outcome = StateOutcome::combine(
+                *id,
+                vec![CheckOutcome::basic(check_id, outcome_value, 1, outcome_value)],
+                &[Weight::one()],
+                None,
+            )
+            .unwrap();
+            let next_a = automaton.next_state(&outcome).unwrap();
+            let next_b = automaton.next_state(&outcome).unwrap();
+            prop_assert_eq!(next_a, next_b);
+            prop_assert!(next_a.is_some());
+        }
+    }
+
+    /// Gradual rollouts never decrease the canary share along the happy path.
+    #[test]
+    fn gradual_rollout_shares_are_non_decreasing(from in 1.0f64..50.0, step in 1.0f64..30.0) {
+        let (catalog, search, stable, fast) = simple_catalog();
+        let strategy = StrategyBuilder::new("rollout", catalog)
+            .phase(PhaseSpec::gradual_rollout(
+                "rollout",
+                search,
+                stable,
+                fast,
+                Percentage::new(from).unwrap(),
+                Percentage::new(100.0).unwrap(),
+                Percentage::new(step).unwrap(),
+                Duration::from_secs(10),
+            ))
+            .build()
+            .unwrap();
+        let automaton = strategy.automaton();
+        let mut current = automaton.start();
+        let mut last_share = 0.0f64;
+        while !automaton.is_final(current) {
+            let state = automaton.state(current).unwrap();
+            if let Some(RoutingRule::Split { split, .. }) = state.routing().first() {
+                let share = split.share_of(fast).value();
+                prop_assert!(share + 1e-9 >= last_share, "share dropped from {last_share} to {share}");
+                last_share = share;
+            }
+            let table = automaton.transitions_of(current).unwrap();
+            current = table.target(table.len() - 1).unwrap();
+        }
+        prop_assert!((last_share - 100.0).abs() < 1e-6);
+    }
+}
+
+fn simple_catalog() -> (ServiceCatalog, ServiceId, VersionId, VersionId) {
+    let mut catalog = ServiceCatalog::new();
+    let search = catalog.add_service(Service::new("search"));
+    let stable = catalog
+        .add_version(search, ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)))
+        .unwrap();
+    let fast = catalog
+        .add_version(search, ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)))
+        .unwrap();
+    (catalog, search, stable, fast)
+}

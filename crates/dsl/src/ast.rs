@@ -1,0 +1,609 @@
+//! The document model of a strategy file.
+//!
+//! A strategy file has two parts, mirroring the DSL described in the paper:
+//! the *deployment* part declares the services, their versions (with
+//! endpoint information), and optionally the proxy host fronting each
+//! service; the *strategy* part declares the ordered phases with their
+//! traffic routing and checks.
+
+use crate::error::DslError;
+use crate::yaml::YamlValue;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One declared version of a service.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionDoc {
+    /// The version name (e.g. `"fastsearch"`).
+    pub name: String,
+    /// The host the version is reachable at.
+    pub host: String,
+    /// The TCP port.
+    pub port: u16,
+    /// Free-form labels.
+    pub labels: BTreeMap<String, String>,
+}
+
+/// One declared service with its versions and optional proxy host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceDoc {
+    /// The service name.
+    pub name: String,
+    /// The proxy host fronting the service, if any.
+    pub proxy: Option<String>,
+    /// Declared versions.
+    pub versions: Vec<VersionDoc>,
+}
+
+/// The deployment part of a strategy file.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DeploymentDoc {
+    /// Declared services.
+    pub services: Vec<ServiceDoc>,
+}
+
+/// One metric query of a check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricDoc {
+    /// The provider name (e.g. `"prometheus"`).
+    pub provider: String,
+    /// The name under which the value is exposed to the validator.
+    pub name: String,
+    /// The query/selector string (e.g. `request_errors{instance="search:80"}`).
+    pub query: String,
+    /// Aggregation applied to the fetched window (`last`, `mean`, `sum`,
+    /// `max`, `min`, `count`, `rate`); defaults to `last`.
+    pub aggregation: Option<String>,
+    /// Look-back window in seconds.
+    pub window: Option<u64>,
+}
+
+/// One check of a phase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckDoc {
+    /// The check name.
+    pub name: String,
+    /// The metrics fetched by the check.
+    pub metrics: Vec<MetricDoc>,
+    /// Seconds between executions (`intervalTime` in the paper's listing).
+    pub interval_secs: u64,
+    /// Number of executions (`intervalLimit`).
+    pub executions: u32,
+    /// How many executions must succeed for the check to pass (`threshold`);
+    /// defaults to all of them.
+    pub threshold: Option<i64>,
+    /// The validator expression applied to each fetched value (e.g. `"<5"`).
+    pub validator: String,
+    /// Weight of the check in the state outcome (default 1.0).
+    pub weight: Option<f64>,
+    /// Whether this is an exception check (fails fast to the rollback state).
+    pub exception: bool,
+}
+
+/// The kind of a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PhaseType {
+    /// Canary release.
+    Canary,
+    /// Dark launch (traffic duplication).
+    DarkLaunch,
+    /// A/B test (50/50 split, sticky sessions).
+    AbTest,
+    /// Gradual rollout (stepwise traffic increase).
+    GradualRollout,
+}
+
+impl PhaseType {
+    /// Parses the DSL spelling of a phase type.
+    pub fn parse(text: &str) -> Option<Self> {
+        match text.to_ascii_lowercase().replace('-', "_").as_str() {
+            "canary" | "canary_release" => Some(Self::Canary),
+            "dark_launch" | "darklaunch" | "shadow" => Some(Self::DarkLaunch),
+            "ab_test" | "abtest" | "a/b" | "ab" => Some(Self::AbTest),
+            "gradual_rollout" | "rollout" | "gradual" => Some(Self::GradualRollout),
+            _ => None,
+        }
+    }
+}
+
+/// One phase of the strategy part.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseDoc {
+    /// The phase name.
+    pub name: String,
+    /// The phase type.
+    pub phase_type: PhaseType,
+    /// The service being live-tested.
+    pub service: String,
+    /// The stable / source / "A" version (interpretation depends on type).
+    pub stable: String,
+    /// The candidate / shadow / "B" version.
+    pub candidate: String,
+    /// Traffic percentage (canary share or dark-launch duplication share).
+    pub traffic: Option<f64>,
+    /// Phase duration in seconds.
+    pub duration_secs: Option<u64>,
+    /// Gradual rollout: starting share.
+    pub from_traffic: Option<f64>,
+    /// Gradual rollout: final share.
+    pub to_traffic: Option<f64>,
+    /// Gradual rollout: increment per step.
+    pub step: Option<f64>,
+    /// Gradual rollout: seconds per step.
+    pub step_duration_secs: Option<u64>,
+    /// Whether sessions are sticky within the phase.
+    pub sticky: Option<bool>,
+    /// Restrict the phase to users with this attribute, e.g.
+    /// `country: US`.
+    pub user_filter: BTreeMap<String, String>,
+    /// Percentage of the (possibly filtered) user base eligible for the
+    /// phase.
+    pub user_percentage: Option<f64>,
+    /// Routing mode: `cookie` (default) or `header`.
+    pub routing: Option<String>,
+    /// The phase's checks.
+    pub checks: Vec<CheckDoc>,
+}
+
+/// A complete, parsed strategy file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StrategyDocument {
+    /// The strategy name.
+    pub name: String,
+    /// The deployment part.
+    pub deployment: DeploymentDoc,
+    /// The ordered phases.
+    pub phases: Vec<PhaseDoc>,
+}
+
+impl StrategyDocument {
+    /// Builds the document model from parsed YAML.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DslError`] for missing or ill-typed fields.
+    pub fn from_yaml(yaml: &YamlValue) -> Result<Self, DslError> {
+        let name = require_str(yaml, "name", "strategy document")?;
+        let deployment = match yaml.get("deployment") {
+            Some(dep) => parse_deployment(dep)?,
+            None => DeploymentDoc::default(),
+        };
+        let strategy = yaml
+            .get("strategy")
+            .ok_or_else(|| DslError::missing("strategy document", "strategy"))?;
+        let phases_yaml = strategy
+            .get("phases")
+            .and_then(YamlValue::as_seq)
+            .ok_or_else(|| DslError::missing("strategy section", "phases"))?;
+        let mut phases = Vec::with_capacity(phases_yaml.len());
+        for phase in phases_yaml {
+            phases.push(parse_phase(phase)?);
+        }
+        Ok(Self {
+            name,
+            deployment,
+            phases,
+        })
+    }
+
+    /// Looks up a declared service by name.
+    pub fn service(&self, name: &str) -> Option<&ServiceDoc> {
+        self.deployment.services.iter().find(|s| s.name == name)
+    }
+}
+
+fn parse_deployment(yaml: &YamlValue) -> Result<DeploymentDoc, DslError> {
+    let services_yaml = yaml
+        .get("services")
+        .and_then(YamlValue::as_seq)
+        .ok_or_else(|| DslError::missing("deployment section", "services"))?;
+    let mut services = Vec::with_capacity(services_yaml.len());
+    for service in services_yaml {
+        let name = require_str(service, "service", "deployment service")?;
+        let proxy = service
+            .get("proxy")
+            .and_then(YamlValue::scalar_to_string);
+        let versions_yaml = service
+            .get("versions")
+            .and_then(YamlValue::as_seq)
+            .ok_or_else(|| DslError::missing(format!("service '{name}'"), "versions"))?;
+        let mut versions = Vec::with_capacity(versions_yaml.len());
+        for version in versions_yaml {
+            let vname = require_str(version, "name", &format!("version of service '{name}'"))?;
+            let host = require_str(version, "host", &format!("version '{vname}'"))?;
+            let port = version
+                .get("port")
+                .and_then(YamlValue::as_i64)
+                .unwrap_or(80);
+            let port = u16::try_from(port).map_err(|_| {
+                DslError::invalid(format!("version '{vname}'"), "port", "must fit in a u16")
+            })?;
+            let labels = version
+                .get("labels")
+                .map(YamlValue::to_string_map)
+                .unwrap_or_default();
+            versions.push(VersionDoc {
+                name: vname,
+                host,
+                port,
+                labels,
+            });
+        }
+        services.push(ServiceDoc {
+            name,
+            proxy,
+            versions,
+        });
+    }
+    Ok(DeploymentDoc { services })
+}
+
+fn parse_phase(yaml: &YamlValue) -> Result<PhaseDoc, DslError> {
+    let type_text = require_str(yaml, "phase", "phase")?;
+    let phase_type = PhaseType::parse(&type_text)
+        .ok_or_else(|| DslError::invalid("phase", "phase", format!("unknown type '{type_text}'")))?;
+    let name = yaml
+        .get("name")
+        .and_then(YamlValue::scalar_to_string)
+        .unwrap_or_else(|| type_text.clone());
+    let context = format!("phase '{name}'");
+    let service = require_str(yaml, "service", &context)?;
+
+    // Version references have per-type aliases mirroring the paper's route
+    // directive (from/to) and A/B terminology.
+    let (stable_keys, candidate_keys): (&[&str], &[&str]) = match phase_type {
+        PhaseType::Canary | PhaseType::GradualRollout => {
+            (&["stable", "from"], &["candidate", "canary", "to"])
+        }
+        PhaseType::DarkLaunch => (&["from", "stable", "source"], &["to", "shadow", "candidate"]),
+        PhaseType::AbTest => (&["a", "stable"], &["b", "candidate"]),
+    };
+    let stable = first_str(yaml, stable_keys)
+        .ok_or_else(|| DslError::missing(&context, stable_keys[0]))?;
+    let candidate = first_str(yaml, candidate_keys)
+        .ok_or_else(|| DslError::missing(&context, candidate_keys[0]))?;
+
+    let checks = match yaml.get("checks") {
+        None => Vec::new(),
+        Some(checks_yaml) => {
+            let seq = checks_yaml
+                .as_seq()
+                .ok_or_else(|| DslError::invalid(&context, "checks", "must be a sequence"))?;
+            seq.iter()
+                .map(|c| parse_check(c, &context))
+                .collect::<Result<Vec<_>, _>>()?
+        }
+    };
+
+    Ok(PhaseDoc {
+        name,
+        phase_type,
+        service,
+        stable,
+        candidate,
+        traffic: yaml.get("traffic").and_then(YamlValue::as_f64),
+        duration_secs: get_u64(yaml, "duration"),
+        from_traffic: yaml.get("from_traffic").and_then(YamlValue::as_f64),
+        to_traffic: yaml.get("to_traffic").and_then(YamlValue::as_f64),
+        step: yaml.get("step").and_then(YamlValue::as_f64),
+        step_duration_secs: get_u64(yaml, "step_duration"),
+        sticky: yaml.get("sticky").and_then(YamlValue::as_bool),
+        user_filter: yaml
+            .get("user_filter")
+            .map(YamlValue::to_string_map)
+            .unwrap_or_default(),
+        user_percentage: yaml.get("user_percentage").and_then(YamlValue::as_f64),
+        routing: yaml.get("routing").and_then(YamlValue::scalar_to_string),
+        checks,
+    })
+}
+
+fn parse_check(yaml: &YamlValue, phase_context: &str) -> Result<CheckDoc, DslError> {
+    // Accept both the paper's `- metric:` wrapper and a flat `- name:` form.
+    let body = yaml.get("metric").or(yaml.get("check")).unwrap_or(yaml);
+    let name = body
+        .get("name")
+        .and_then(YamlValue::scalar_to_string)
+        .unwrap_or_else(|| "check".to_string());
+    let context = format!("{phase_context} check '{name}'");
+
+    let mut metrics = Vec::new();
+    if let Some(providers) = body.get("providers").and_then(YamlValue::as_seq) {
+        for provider_entry in providers {
+            let entries = provider_entry.as_map().ok_or_else(|| {
+                DslError::invalid(&context, "providers", "each entry must be a mapping")
+            })?;
+            for (provider_name, details) in entries {
+                let metric_name = details
+                    .get("name")
+                    .and_then(YamlValue::scalar_to_string)
+                    .unwrap_or_else(|| name.clone());
+                let query = details
+                    .get("query")
+                    .and_then(YamlValue::scalar_to_string)
+                    .ok_or_else(|| DslError::missing(&context, "query"))?;
+                metrics.push(MetricDoc {
+                    provider: provider_name.clone(),
+                    name: metric_name,
+                    query,
+                    aggregation: details.get("aggregation").and_then(YamlValue::scalar_to_string),
+                    window: details.get("window").and_then(YamlValue::as_i64).map(|v| v.max(0) as u64),
+                });
+            }
+        }
+    } else if let Some(query) = body.get("query").and_then(YamlValue::scalar_to_string) {
+        metrics.push(MetricDoc {
+            provider: body
+                .get("provider")
+                .and_then(YamlValue::scalar_to_string)
+                .unwrap_or_else(|| "prometheus".to_string()),
+            name: name.clone(),
+            query,
+            aggregation: body.get("aggregation").and_then(YamlValue::scalar_to_string),
+            window: body.get("window").and_then(YamlValue::as_i64).map(|v| v.max(0) as u64),
+        });
+    }
+    if metrics.is_empty() {
+        return Err(DslError::missing(&context, "providers/query"));
+    }
+
+    let interval_secs = get_u64_any(body, &["intervalTime", "interval"])
+        .ok_or_else(|| DslError::missing(&context, "intervalTime"))?;
+    let executions = get_u64_any(body, &["intervalLimit", "executions"])
+        .ok_or_else(|| DslError::missing(&context, "intervalLimit"))? as u32;
+    let validator = body
+        .get("validator")
+        .and_then(YamlValue::scalar_to_string)
+        .ok_or_else(|| DslError::missing(&context, "validator"))?;
+
+    Ok(CheckDoc {
+        name,
+        metrics,
+        interval_secs,
+        executions,
+        threshold: body.get("threshold").and_then(YamlValue::as_i64),
+        validator,
+        weight: body.get("weight").and_then(YamlValue::as_f64),
+        exception: body.get("exception").and_then(YamlValue::as_bool).unwrap_or(false),
+    })
+}
+
+fn require_str(yaml: &YamlValue, field: &str, context: &str) -> Result<String, DslError> {
+    yaml.get(field)
+        .and_then(YamlValue::scalar_to_string)
+        .ok_or_else(|| DslError::missing(context, field))
+}
+
+fn first_str(yaml: &YamlValue, keys: &[&str]) -> Option<String> {
+    keys.iter()
+        .find_map(|key| yaml.get(key).and_then(YamlValue::scalar_to_string))
+}
+
+fn get_u64(yaml: &YamlValue, field: &str) -> Option<u64> {
+    yaml.get(field)
+        .and_then(YamlValue::as_i64)
+        .map(|v| v.max(0) as u64)
+}
+
+fn get_u64_any(yaml: &YamlValue, fields: &[&str]) -> Option<u64> {
+    fields.iter().find_map(|f| get_u64(yaml, f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yaml;
+
+    const FULL_DOC: &str = r#"
+name: fastsearch-rollout
+deployment:
+  services:
+    - service: search
+      proxy: search-proxy:8080
+      versions:
+        - name: search-v1
+          host: 10.0.0.1
+          port: 8080
+        - name: fastsearch
+          host: 10.0.0.2
+          port: 8080
+          labels:
+            track: canary
+strategy:
+  phases:
+    - phase: canary
+      name: canary-1
+      service: search
+      stable: search-v1
+      candidate: fastsearch
+      traffic: 1
+      duration: 86400
+      user_filter:
+        country: US
+      checks:
+        - metric:
+            name: response_time
+            providers:
+              - prometheus:
+                  name: search_rt
+                  query: response_time_ms{instance="search:80"}
+            intervalTime: 600
+            intervalLimit: 100
+            threshold: 95
+            validator: "<150"
+    - phase: ab_test
+      name: ab
+      service: search
+      a: search-v1
+      b: fastsearch
+      duration: 432000
+      checks:
+        - metric:
+            name: conversions
+            provider: prometheus
+            query: items_sold_total
+            intervalTime: 432000
+            intervalLimit: 1
+            validator: ">0"
+    - phase: gradual_rollout
+      name: rollout
+      service: search
+      stable: search-v1
+      candidate: fastsearch
+      from_traffic: 5
+      to_traffic: 100
+      step: 5
+      step_duration: 86400
+"#;
+
+    #[test]
+    fn parses_full_document() {
+        let doc = StrategyDocument::from_yaml(&yaml::parse(FULL_DOC).unwrap()).unwrap();
+        assert_eq!(doc.name, "fastsearch-rollout");
+        assert_eq!(doc.deployment.services.len(), 1);
+        let service = doc.service("search").unwrap();
+        assert_eq!(service.proxy.as_deref(), Some("search-proxy:8080"));
+        assert_eq!(service.versions.len(), 2);
+        assert_eq!(service.versions[1].labels["track"], "canary");
+        assert_eq!(service.versions[0].port, 8080);
+        assert!(doc.service("product").is_none());
+
+        assert_eq!(doc.phases.len(), 3);
+        let canary = &doc.phases[0];
+        assert_eq!(canary.phase_type, PhaseType::Canary);
+        assert_eq!(canary.traffic, Some(1.0));
+        assert_eq!(canary.duration_secs, Some(86_400));
+        assert_eq!(canary.user_filter["country"], "US");
+        assert_eq!(canary.checks.len(), 1);
+        let check = &canary.checks[0];
+        assert_eq!(check.interval_secs, 600);
+        assert_eq!(check.executions, 100);
+        assert_eq!(check.threshold, Some(95));
+        assert_eq!(check.validator, "<150");
+        assert_eq!(check.metrics[0].provider, "prometheus");
+        assert_eq!(check.metrics[0].name, "search_rt");
+
+        let ab = &doc.phases[1];
+        assert_eq!(ab.phase_type, PhaseType::AbTest);
+        assert_eq!(ab.stable, "search-v1");
+        assert_eq!(ab.candidate, "fastsearch");
+        assert_eq!(ab.checks[0].metrics[0].query, "items_sold_total");
+
+        let rollout = &doc.phases[2];
+        assert_eq!(rollout.phase_type, PhaseType::GradualRollout);
+        assert_eq!(rollout.from_traffic, Some(5.0));
+        assert_eq!(rollout.to_traffic, Some(100.0));
+        assert_eq!(rollout.step, Some(5.0));
+        assert_eq!(rollout.step_duration_secs, Some(86_400));
+    }
+
+    #[test]
+    fn phase_type_spellings() {
+        assert_eq!(PhaseType::parse("canary"), Some(PhaseType::Canary));
+        assert_eq!(PhaseType::parse("Canary"), Some(PhaseType::Canary));
+        assert_eq!(PhaseType::parse("dark-launch"), Some(PhaseType::DarkLaunch));
+        assert_eq!(PhaseType::parse("shadow"), Some(PhaseType::DarkLaunch));
+        assert_eq!(PhaseType::parse("ab_test"), Some(PhaseType::AbTest));
+        assert_eq!(PhaseType::parse("AB"), Some(PhaseType::AbTest));
+        assert_eq!(PhaseType::parse("rollout"), Some(PhaseType::GradualRollout));
+        assert_eq!(PhaseType::parse("blue-green"), None);
+    }
+
+    #[test]
+    fn missing_name_is_rejected() {
+        let err = StrategyDocument::from_yaml(&yaml::parse("deployment:\n  services: []\n").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, DslError::MissingField { .. }));
+    }
+
+    #[test]
+    fn missing_strategy_section_is_rejected() {
+        let source = "name: x\ndeployment:\n  services: []\n";
+        let err = StrategyDocument::from_yaml(&yaml::parse(source).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("strategy"));
+    }
+
+    #[test]
+    fn unknown_phase_type_is_rejected() {
+        let source = r#"
+name: x
+strategy:
+  phases:
+    - phase: blue_green
+      service: search
+      stable: a
+      candidate: b
+"#;
+        let err = StrategyDocument::from_yaml(&yaml::parse(source).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("unknown type"));
+    }
+
+    #[test]
+    fn check_requires_interval_and_validator() {
+        let source = r#"
+name: x
+strategy:
+  phases:
+    - phase: canary
+      service: search
+      stable: a
+      candidate: b
+      checks:
+        - metric:
+            name: m
+            query: q
+            intervalTime: 5
+            intervalLimit: 3
+"#;
+        let err = StrategyDocument::from_yaml(&yaml::parse(source).unwrap()).unwrap_err();
+        assert!(err.to_string().contains("validator"));
+    }
+
+    #[test]
+    fn dark_launch_accepts_from_to_aliases() {
+        let source = r#"
+name: x
+strategy:
+  phases:
+    - phase: dark_launch
+      service: product
+      from: product-v1
+      to: product-a
+      traffic: 100
+      duration: 60
+"#;
+        let doc = StrategyDocument::from_yaml(&yaml::parse(source).unwrap()).unwrap();
+        assert_eq!(doc.phases[0].stable, "product-v1");
+        assert_eq!(doc.phases[0].candidate, "product-a");
+        assert_eq!(doc.phases[0].name, "dark_launch");
+    }
+
+    #[test]
+    fn flat_check_form_with_exception_flag() {
+        let source = r#"
+name: x
+strategy:
+  phases:
+    - phase: canary
+      service: search
+      stable: a
+      candidate: b
+      checks:
+        - name: error-spike
+          provider: prometheus
+          query: request_errors
+          interval: 5
+          executions: 12
+          validator: "<100"
+          exception: true
+          weight: 2.5
+"#;
+        let doc = StrategyDocument::from_yaml(&yaml::parse(source).unwrap()).unwrap();
+        let check = &doc.phases[0].checks[0];
+        assert!(check.exception);
+        assert_eq!(check.weight, Some(2.5));
+        assert_eq!(check.interval_secs, 5);
+        assert_eq!(check.executions, 12);
+        assert_eq!(check.name, "error-spike");
+    }
+}

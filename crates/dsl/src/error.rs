@@ -1,0 +1,143 @@
+//! Error type of the DSL crate.
+
+use bifrost_core::ModelError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing or compiling a strategy document.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DslError {
+    /// A YAML syntax error with the offending line number (1-based).
+    Syntax {
+        /// 1-based line number in the source.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A required field is missing from a document element.
+    MissingField {
+        /// The element containing the field (e.g. `"phase 'canary-5'"`).
+        context: String,
+        /// The missing field name.
+        field: String,
+    },
+    /// A field has an unexpected type or value.
+    InvalidField {
+        /// The element containing the field.
+        context: String,
+        /// The field name.
+        field: String,
+        /// What was wrong.
+        message: String,
+    },
+    /// A semantic reference could not be resolved (unknown service, version,
+    /// provider, …).
+    UnknownReference {
+        /// What kind of entity was referenced (e.g. `"service"`).
+        kind: String,
+        /// The dangling name.
+        name: String,
+    },
+    /// Compilation into the formal model failed.
+    Model(ModelError),
+}
+
+impl DslError {
+    /// Convenience constructor for syntax errors.
+    pub fn syntax(line: usize, message: impl Into<String>) -> Self {
+        Self::Syntax {
+            line,
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for missing fields.
+    pub fn missing(context: impl Into<String>, field: impl Into<String>) -> Self {
+        Self::MissingField {
+            context: context.into(),
+            field: field.into(),
+        }
+    }
+
+    /// Convenience constructor for invalid fields.
+    pub fn invalid(
+        context: impl Into<String>,
+        field: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Self::InvalidField {
+            context: context.into(),
+            field: field.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Convenience constructor for unresolved references.
+    pub fn unknown(kind: impl Into<String>, name: impl Into<String>) -> Self {
+        Self::UnknownReference {
+            kind: kind.into(),
+            name: name.into(),
+        }
+    }
+}
+
+impl fmt::Display for DslError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DslError::Syntax { line, message } => write!(f, "syntax error on line {line}: {message}"),
+            DslError::MissingField { context, field } => {
+                write!(f, "{context} is missing required field '{field}'")
+            }
+            DslError::InvalidField {
+                context,
+                field,
+                message,
+            } => write!(f, "{context} has invalid field '{field}': {message}"),
+            DslError::UnknownReference { kind, name } => {
+                write!(f, "unknown {kind} '{name}'")
+            }
+            DslError::Model(err) => write!(f, "model error: {err}"),
+        }
+    }
+}
+
+impl Error for DslError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DslError::Model(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for DslError {
+    fn from(err: ModelError) -> Self {
+        DslError::Model(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            DslError::syntax(3, "bad indentation").to_string(),
+            "syntax error on line 3: bad indentation"
+        );
+        assert_eq!(
+            DslError::missing("phase 'canary'", "service").to_string(),
+            "phase 'canary' is missing required field 'service'"
+        );
+        assert!(DslError::invalid("metric", "validator", "no operator")
+            .to_string()
+            .contains("invalid field 'validator'"));
+        assert_eq!(DslError::unknown("service", "payments").to_string(), "unknown service 'payments'");
+        let model: DslError = ModelError::InvalidPercentage(200.0).into();
+        assert!(model.to_string().contains("model error"));
+        assert!(model.source().is_some());
+        assert!(DslError::syntax(1, "x").source().is_none());
+    }
+}

@@ -1,0 +1,92 @@
+//! # bifrost-dsl
+//!
+//! The Bifrost domain-specific language: a YAML-based, version-controllable
+//! format in which developers and release engineers describe multi-phase live
+//! testing strategies without spelling out every automaton state by hand.
+//!
+//! The crate contains three layers:
+//!
+//! * [`yaml`] — a self-contained parser for the YAML subset the DSL needs
+//!   (block mappings, block sequences, scalars, quoting, comments). Using an
+//!   in-repo parser keeps the reproduction inside the approved dependency
+//!   set.
+//! * [`ast`] — the document model of a strategy file: the deployment part
+//!   (services, versions, proxies) and the strategy part (phases with their
+//!   routes, checks, and metrics).
+//! * [`mod@compile`] — semantic validation and compilation of a document into a
+//!   [`bifrost_core::Strategy`], i.e. into the formal model the engine
+//!   enacts.
+//!
+//! ```
+//! use bifrost_dsl::parse_strategy;
+//!
+//! let source = r#"
+//! name: quick-canary
+//! deployment:
+//!   services:
+//!     - service: search
+//!       versions:
+//!         - name: v1
+//!           host: 10.0.0.1
+//!           port: 8080
+//!         - name: v2-fast
+//!           host: 10.0.0.2
+//!           port: 8080
+//! strategy:
+//!   phases:
+//!     - phase: canary
+//!       name: canary-5
+//!       service: search
+//!       stable: v1
+//!       candidate: v2-fast
+//!       traffic: 5
+//!       duration: 60
+//! "#;
+//! let strategy = parse_strategy(source)?;
+//! assert_eq!(strategy.name(), "quick-canary");
+//! assert_eq!(strategy.automaton().state_count(), 3);
+//! # Ok::<(), bifrost_dsl::DslError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ast;
+pub mod compile;
+pub mod error;
+pub mod yaml;
+
+pub use ast::{
+    CheckDoc, DeploymentDoc, MetricDoc, PhaseDoc, PhaseType, ServiceDoc, StrategyDocument,
+    VersionDoc,
+};
+pub use compile::compile;
+pub use error::DslError;
+pub use yaml::YamlValue;
+
+use bifrost_core::Strategy;
+
+/// Parses a DSL source string all the way to an enactable strategy:
+/// YAML → document → compiled [`Strategy`].
+///
+/// # Errors
+///
+/// Returns a [`DslError`] describing the first syntax or semantic problem
+/// found.
+pub fn parse_strategy(source: &str) -> Result<Strategy, DslError> {
+    let yaml = yaml::parse(source)?;
+    let document = StrategyDocument::from_yaml(&yaml)?;
+    compile(&document)
+}
+
+/// Parses a DSL source string into its document model without compiling it
+/// (used by validation-only tooling such as `bifrost-cli validate`).
+///
+/// # Errors
+///
+/// Returns a [`DslError`] describing the first syntax problem found.
+pub fn parse_document(source: &str) -> Result<StrategyDocument, DslError> {
+    let yaml = yaml::parse(source)?;
+    StrategyDocument::from_yaml(&yaml)
+}

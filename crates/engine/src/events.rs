@@ -1,0 +1,326 @@
+//! The engine's event stream.
+//!
+//! Every significant action of the engine is recorded as an [`EngineEvent`].
+//! The CLI and dashboard consume this stream for status updates; the
+//! experiment harnesses use it to reconstruct enactment timelines; tests use
+//! it to assert on the engine's behaviour.
+
+use bifrost_core::ids::{CheckId, StateId, StrategyId};
+use bifrost_core::ServiceId;
+use bifrost_simnet::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One entry of the engine's event stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EngineEvent {
+    /// A strategy was scheduled for execution.
+    StrategyScheduled {
+        /// The strategy.
+        strategy: StrategyId,
+        /// When execution is supposed to start.
+        start_at: SimTime,
+    },
+    /// A strategy's execution actually started.
+    StrategyStarted {
+        /// The strategy.
+        strategy: StrategyId,
+        /// When it started.
+        at: SimTime,
+    },
+    /// The automaton entered a state.
+    StateEntered {
+        /// The strategy.
+        strategy: StrategyId,
+        /// The state entered.
+        state: StateId,
+        /// When it was entered.
+        at: SimTime,
+    },
+    /// A proxy received a new routing configuration.
+    ProxyConfigured {
+        /// The strategy that caused the update.
+        strategy: StrategyId,
+        /// The service whose proxy was updated.
+        service: ServiceId,
+        /// The new configuration revision.
+        revision: u64,
+        /// When the update completed.
+        at: SimTime,
+    },
+    /// One timed execution of a check completed.
+    CheckExecuted {
+        /// The strategy.
+        strategy: StrategyId,
+        /// The state the check belongs to.
+        state: StateId,
+        /// The executed check.
+        check: CheckId,
+        /// Whether the execution returned 1 (success) or 0 (failure).
+        success: bool,
+        /// When the execution completed.
+        at: SimTime,
+    },
+    /// An exception check failed, forcing an immediate fallback transition.
+    ExceptionTriggered {
+        /// The strategy.
+        strategy: StrategyId,
+        /// The state that was aborted.
+        state: StateId,
+        /// The failing check.
+        check: CheckId,
+        /// The fallback state.
+        fallback: StateId,
+        /// When it happened.
+        at: SimTime,
+    },
+    /// A state finished and its outcome was evaluated.
+    StateEvaluated {
+        /// The strategy.
+        strategy: StrategyId,
+        /// The evaluated state.
+        state: StateId,
+        /// The aggregated, weighted outcome value.
+        outcome: i64,
+        /// The successor chosen by the transition function (`None` when the
+        /// state was final).
+        next: Option<StateId>,
+        /// When the evaluation completed.
+        at: SimTime,
+    },
+    /// A strategy finished (reached a final state).
+    StrategyCompleted {
+        /// The strategy.
+        strategy: StrategyId,
+        /// The final state reached.
+        final_state: StateId,
+        /// Whether the final state is the success state.
+        success: bool,
+        /// When it completed.
+        at: SimTime,
+    },
+}
+
+impl EngineEvent {
+    /// The strategy the event belongs to.
+    pub fn strategy(&self) -> StrategyId {
+        match self {
+            EngineEvent::StrategyScheduled { strategy, .. }
+            | EngineEvent::StrategyStarted { strategy, .. }
+            | EngineEvent::StateEntered { strategy, .. }
+            | EngineEvent::ProxyConfigured { strategy, .. }
+            | EngineEvent::CheckExecuted { strategy, .. }
+            | EngineEvent::ExceptionTriggered { strategy, .. }
+            | EngineEvent::StateEvaluated { strategy, .. }
+            | EngineEvent::StrategyCompleted { strategy, .. } => *strategy,
+        }
+    }
+
+    /// The virtual time the event refers to.
+    pub fn at(&self) -> SimTime {
+        match self {
+            EngineEvent::StrategyScheduled { start_at, .. } => *start_at,
+            EngineEvent::StrategyStarted { at, .. }
+            | EngineEvent::StateEntered { at, .. }
+            | EngineEvent::ProxyConfigured { at, .. }
+            | EngineEvent::CheckExecuted { at, .. }
+            | EngineEvent::ExceptionTriggered { at, .. }
+            | EngineEvent::StateEvaluated { at, .. }
+            | EngineEvent::StrategyCompleted { at, .. } => *at,
+        }
+    }
+
+    /// A short human-readable description used by the CLI/dashboard.
+    pub fn describe(&self) -> String {
+        match self {
+            EngineEvent::StrategyScheduled { strategy, start_at } => {
+                format!("{strategy} scheduled to start at {start_at}")
+            }
+            EngineEvent::StrategyStarted { strategy, at } => {
+                format!("{strategy} started at {at}")
+            }
+            EngineEvent::StateEntered { strategy, state, at } => {
+                format!("{strategy} entered {state} at {at}")
+            }
+            EngineEvent::ProxyConfigured {
+                strategy,
+                service,
+                revision,
+                at,
+            } => format!("{strategy} configured proxy of {service} (rev {revision}) at {at}"),
+            EngineEvent::CheckExecuted {
+                strategy,
+                check,
+                success,
+                at,
+                ..
+            } => format!(
+                "{strategy} executed {check} at {at}: {}",
+                if *success { "ok" } else { "failed" }
+            ),
+            EngineEvent::ExceptionTriggered {
+                strategy,
+                check,
+                fallback,
+                at,
+                ..
+            } => format!("{strategy} exception on {check} at {at}, falling back to {fallback}"),
+            EngineEvent::StateEvaluated {
+                strategy,
+                state,
+                outcome,
+                next,
+                at,
+            } => match next {
+                Some(next) => {
+                    format!("{strategy} evaluated {state} at {at}: outcome {outcome} → {next}")
+                }
+                None => format!("{strategy} evaluated final {state} at {at}: outcome {outcome}"),
+            },
+            EngineEvent::StrategyCompleted {
+                strategy,
+                final_state,
+                success,
+                at,
+            } => format!(
+                "{strategy} completed in {final_state} at {at} ({})",
+                if *success { "rolled out" } else { "rolled back" }
+            ),
+        }
+    }
+}
+
+/// An append-only log of engine events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<EngineEvent>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: EngineEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in insertion order.
+    pub fn events(&self) -> &[EngineEvent] {
+        &self.events
+    }
+
+    /// Events belonging to one strategy.
+    pub fn for_strategy(&self, strategy: StrategyId) -> impl Iterator<Item = &EngineEvent> {
+        self.events.iter().filter(move |e| e.strategy() == strategy)
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of state transitions recorded for a strategy.
+    pub fn transitions_of(&self, strategy: StrategyId) -> usize {
+        self.for_strategy(strategy)
+            .filter(|e| matches!(e, EngineEvent::StateEntered { .. }))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<EngineEvent> {
+        let s = StrategyId::new(1);
+        vec![
+            EngineEvent::StrategyScheduled {
+                strategy: s,
+                start_at: SimTime::from_secs(0),
+            },
+            EngineEvent::StrategyStarted {
+                strategy: s,
+                at: SimTime::from_secs(0),
+            },
+            EngineEvent::StateEntered {
+                strategy: s,
+                state: StateId::new(0),
+                at: SimTime::from_secs(0),
+            },
+            EngineEvent::CheckExecuted {
+                strategy: s,
+                state: StateId::new(0),
+                check: CheckId::new(0),
+                success: true,
+                at: SimTime::from_secs(12),
+            },
+            EngineEvent::StateEvaluated {
+                strategy: s,
+                state: StateId::new(0),
+                outcome: 5,
+                next: Some(StateId::new(1)),
+                at: SimTime::from_secs(60),
+            },
+            EngineEvent::StrategyCompleted {
+                strategy: s,
+                final_state: StateId::new(1),
+                success: true,
+                at: SimTime::from_secs(61),
+            },
+        ]
+    }
+
+    #[test]
+    fn event_accessors() {
+        for event in sample_events() {
+            assert_eq!(event.strategy(), StrategyId::new(1));
+            assert!(!event.describe().is_empty());
+        }
+        let completed = sample_events().pop().unwrap();
+        assert_eq!(completed.at(), SimTime::from_secs(61));
+    }
+
+    #[test]
+    fn log_filters_by_strategy() {
+        let mut log = EventLog::new();
+        for event in sample_events() {
+            log.push(event);
+        }
+        log.push(EngineEvent::StrategyStarted {
+            strategy: StrategyId::new(2),
+            at: SimTime::from_secs(5),
+        });
+        assert_eq!(log.len(), 7);
+        assert!(!log.is_empty());
+        assert_eq!(log.for_strategy(StrategyId::new(1)).count(), 6);
+        assert_eq!(log.for_strategy(StrategyId::new(2)).count(), 1);
+        assert_eq!(log.transitions_of(StrategyId::new(1)), 1);
+        assert_eq!(log.events().len(), 7);
+    }
+
+    #[test]
+    fn describe_mentions_rollback_vs_rollout() {
+        let done = EngineEvent::StrategyCompleted {
+            strategy: StrategyId::new(1),
+            final_state: StateId::new(9),
+            success: false,
+            at: SimTime::from_secs(2),
+        };
+        assert!(done.describe().contains("rolled back"));
+        let exception = EngineEvent::ExceptionTriggered {
+            strategy: StrategyId::new(1),
+            state: StateId::new(0),
+            check: CheckId::new(3),
+            fallback: StateId::new(9),
+            at: SimTime::from_secs(2),
+        };
+        assert!(exception.describe().contains("falling back"));
+    }
+}

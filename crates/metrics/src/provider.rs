@@ -1,0 +1,241 @@
+//! Metric providers: the engine-facing abstraction over monitoring backends.
+//!
+//! A check's [`MetricQuery`] names the provider it
+//! wants to consult (`prometheus`, `cadvisor`, …). The engine resolves that
+//! name through a [`ProviderRegistry`] and asks the provider for a scalar.
+//! In this reproduction every provider is ultimately backed by the in-process
+//! [`SharedMetricStore`], but the trait keeps the engine decoupled from the
+//! storage, exactly like the paper's engine is decoupled from Prometheus.
+
+use crate::query::{Aggregation, RangeQuery};
+use crate::sample::TimestampMs;
+use crate::store::SharedMetricStore;
+use bifrost_core::check::{MetricQuery, QueryAggregation};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+/// A source of scalar metric values, resolved per check execution.
+pub trait MetricsProvider: fmt::Debug + Send + Sync {
+    /// The provider name checks refer to (e.g. `"prometheus"`).
+    fn name(&self) -> &str;
+
+    /// Fetches the scalar value for a model-level metric query at virtual
+    /// time `now`. Returns `None` if no data is available, which the engine
+    /// treats as a failing check execution.
+    fn fetch(&self, query: &MetricQuery, now: TimestampMs) -> Option<f64>;
+}
+
+/// Translates a model-level aggregation into the store-level one.
+fn translate_aggregation(aggregation: QueryAggregation) -> Aggregation {
+    match aggregation {
+        QueryAggregation::Last => Aggregation::Last,
+        QueryAggregation::Mean => Aggregation::Mean,
+        QueryAggregation::Sum => Aggregation::Sum,
+        QueryAggregation::Max => Aggregation::Max,
+        QueryAggregation::Min => Aggregation::Min,
+        QueryAggregation::Count => Aggregation::Count,
+        QueryAggregation::Rate => Aggregation::Increase,
+    }
+}
+
+/// Converts a model-level metric query into a store-level range query.
+pub fn to_range_query(query: &MetricQuery) -> RangeQuery {
+    let mut range = RangeQuery::new(query.metric())
+        .over_window(Duration::from_secs(query.window_secs()))
+        .aggregate(translate_aggregation(query.aggregation()));
+    for (key, value) in query.labels() {
+        range = range.with_label(key, value);
+    }
+    range
+}
+
+/// A provider that answers queries from a [`SharedMetricStore`]. This stands
+/// in for Prometheus (and, with a different name, for cAdvisor) in the
+/// simulated deployments.
+#[derive(Debug, Clone)]
+pub struct StoreProvider {
+    name: String,
+    store: SharedMetricStore,
+}
+
+impl StoreProvider {
+    /// Creates a provider answering as `name` from `store`.
+    pub fn new(name: impl Into<String>, store: SharedMetricStore) -> Self {
+        Self {
+            name: name.into(),
+            store,
+        }
+    }
+
+    /// The backing store handle.
+    pub fn store(&self) -> &SharedMetricStore {
+        &self.store
+    }
+}
+
+impl MetricsProvider for StoreProvider {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn fetch(&self, query: &MetricQuery, now: TimestampMs) -> Option<f64> {
+        self.store.evaluate(&to_range_query(query), now)
+    }
+}
+
+/// A registry mapping provider names to provider implementations; mirrors the
+/// "metric providers' access information is specified in a configuration file
+/// loaded at the engine's start-up" part of the paper.
+#[derive(Debug, Default)]
+pub struct ProviderRegistry {
+    providers: BTreeMap<String, Box<dyn MetricsProvider>>,
+}
+
+impl ProviderRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a provider under its own name, replacing any previous
+    /// provider with the same name.
+    pub fn register(&mut self, provider: Box<dyn MetricsProvider>) {
+        self.providers.insert(provider.name().to_string(), provider);
+    }
+
+    /// Convenience: registers a [`StoreProvider`] for `name` backed by
+    /// `store`.
+    pub fn register_store(&mut self, name: impl Into<String>, store: SharedMetricStore) {
+        self.register(Box::new(StoreProvider::new(name, store)));
+    }
+
+    /// Looks up a provider by name.
+    pub fn provider(&self, name: &str) -> Option<&dyn MetricsProvider> {
+        self.providers.get(name).map(Box::as_ref)
+    }
+
+    /// Resolves and executes a model-level query: finds the provider named by
+    /// the query and fetches the value. Returns `None` for unknown providers
+    /// or missing data.
+    pub fn fetch(&self, query: &MetricQuery, now: TimestampMs) -> Option<f64> {
+        self.provider(query.provider())?.fetch(query, now)
+    }
+
+    /// Fetches all queries of a check spec and returns the values keyed by
+    /// each query's exposed name, ready for
+    /// [`CheckSpec::evaluate`](bifrost_core::CheckSpec::evaluate).
+    pub fn fetch_all(
+        &self,
+        queries: &[(MetricQuery, bifrost_core::Validator)],
+        now: TimestampMs,
+    ) -> BTreeMap<String, f64> {
+        let mut values = BTreeMap::new();
+        for (query, _) in queries {
+            if let Some(value) = self.fetch(query, now) {
+                values.insert(query.name().to_string(), value);
+            }
+        }
+        values
+    }
+
+    /// Number of registered providers.
+    pub fn len(&self) -> usize {
+        self.providers.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.providers.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sample::SeriesKey;
+    use bifrost_core::check::CheckSpec;
+    use bifrost_core::Validator;
+
+    fn store_with_errors() -> SharedMetricStore {
+        let store = SharedMetricStore::new();
+        store.record_value(
+            SeriesKey::new("request_errors").with_label("instance", "search:80"),
+            TimestampMs::from_secs(10),
+            2.0,
+        );
+        store.record_value(
+            SeriesKey::new("request_errors").with_label("instance", "search:80"),
+            TimestampMs::from_secs(20),
+            4.0,
+        );
+        store
+    }
+
+    fn error_query() -> MetricQuery {
+        MetricQuery::new("prometheus", "search_error", "request_errors")
+            .with_label("instance", "search:80")
+            .with_aggregation(QueryAggregation::Last)
+    }
+
+    #[test]
+    fn to_range_query_translates_fields() {
+        let q = MetricQuery::new("prometheus", "x", "request_errors")
+            .with_label("instance", "search:80")
+            .with_aggregation(QueryAggregation::Sum)
+            .with_window_secs(30);
+        let range = to_range_query(&q);
+        assert_eq!(range.metric(), "request_errors");
+        assert_eq!(range.window(), Duration::from_secs(30));
+        assert_eq!(range.aggregation(), Aggregation::Sum);
+        assert_eq!(range.matchers().len(), 1);
+    }
+
+    #[test]
+    fn aggregation_translation_covers_all_variants() {
+        assert_eq!(translate_aggregation(QueryAggregation::Last), Aggregation::Last);
+        assert_eq!(translate_aggregation(QueryAggregation::Mean), Aggregation::Mean);
+        assert_eq!(translate_aggregation(QueryAggregation::Sum), Aggregation::Sum);
+        assert_eq!(translate_aggregation(QueryAggregation::Max), Aggregation::Max);
+        assert_eq!(translate_aggregation(QueryAggregation::Min), Aggregation::Min);
+        assert_eq!(translate_aggregation(QueryAggregation::Count), Aggregation::Count);
+        assert_eq!(translate_aggregation(QueryAggregation::Rate), Aggregation::Increase);
+    }
+
+    #[test]
+    fn store_provider_fetches_values() {
+        let provider = StoreProvider::new("prometheus", store_with_errors());
+        assert_eq!(provider.name(), "prometheus");
+        assert_eq!(provider.fetch(&error_query(), TimestampMs::from_secs(30)), Some(4.0));
+        assert_eq!(provider.fetch(&error_query(), TimestampMs::from_secs(5)), None);
+        assert_eq!(provider.store().series_count(), 1);
+    }
+
+    #[test]
+    fn registry_resolves_by_provider_name() {
+        let mut registry = ProviderRegistry::new();
+        assert!(registry.is_empty());
+        registry.register_store("prometheus", store_with_errors());
+        assert_eq!(registry.len(), 1);
+        assert!(registry.provider("prometheus").is_some());
+        assert!(registry.provider("new_relic").is_none());
+        assert_eq!(registry.fetch(&error_query(), TimestampMs::from_secs(30)), Some(4.0));
+
+        let unknown = MetricQuery::new("new_relic", "x", "request_errors");
+        assert_eq!(registry.fetch(&unknown, TimestampMs::from_secs(30)), None);
+    }
+
+    #[test]
+    fn fetch_all_feeds_check_spec_evaluation() {
+        let mut registry = ProviderRegistry::new();
+        registry.register_store("prometheus", store_with_errors());
+        let spec = CheckSpec::single(error_query(), Validator::LessThan(5.0));
+        let values = registry.fetch_all(spec.queries(), TimestampMs::from_secs(30));
+        assert_eq!(values.get("search_error"), Some(&4.0));
+        assert!(spec.evaluate(&values));
+        // Before any data exists the check fails.
+        let values = registry.fetch_all(spec.queries(), TimestampMs::from_secs(1));
+        assert!(values.is_empty());
+        assert!(!spec.evaluate(&values));
+    }
+}

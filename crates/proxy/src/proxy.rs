@@ -1,0 +1,432 @@
+//! The Bifrost proxy itself: per-request routing decisions.
+//!
+//! The decision process mirrors Section 4.2 of the paper:
+//!
+//! 1. With **header-based routing**, the proxy never decides itself — it
+//!    routes on the value of the group header injected upstream (`A`/`B`
+//!    select the first/second version of the split; anything else falls back
+//!    to the default version).
+//! 2. With **cookie-based routing**, the proxy buckets the client itself. If
+//!    the request carries a known session cookie and sticky sessions are on,
+//!    the stored binding wins. Otherwise the client (or, for anonymous
+//!    requests, a fresh token) is hashed into the traffic split, and with
+//!    sticky sessions the binding is remembered and a `Set-Cookie` is
+//!    emitted.
+//! 3. Every applicable dark-launch rule adds a shadow copy of the request
+//!    with the configured probability.
+
+use crate::config::{ProxyConfig, ProxyRule};
+use crate::overhead::OverheadModel;
+use crate::request::{ProxyRequest, RoutingDecision, ShadowCopy};
+use crate::session::{SessionStore, SessionToken, TokenGenerator};
+use bifrost_core::ids::{UserId, VersionId};
+use bifrost_core::routing::RoutingMode;
+use bifrost_core::user::User;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Counters describing what a proxy has done so far.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProxyStats {
+    /// Total requests routed.
+    pub requests: u64,
+    /// Requests per version (primary routing only, shadows excluded).
+    pub per_version: BTreeMap<VersionId, u64>,
+    /// Total shadow copies produced.
+    pub shadow_copies: u64,
+    /// Number of configuration updates received.
+    pub config_updates: u64,
+    /// Requests answered from the sticky-session table.
+    pub sticky_hits: u64,
+}
+
+/// A Bifrost proxy instance fronting one service.
+#[derive(Debug)]
+pub struct BifrostProxy {
+    name: String,
+    config: ProxyConfig,
+    sessions: SessionStore,
+    tokens: TokenGenerator,
+    overhead: OverheadModel,
+    stats: ProxyStats,
+}
+
+impl BifrostProxy {
+    /// Creates a proxy with the given initial configuration.
+    pub fn new(name: impl Into<String>, config: ProxyConfig) -> Self {
+        let name = name.into();
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+        Self {
+            name,
+            config,
+            sessions: SessionStore::new(),
+            tokens: TokenGenerator::seeded(seed),
+            overhead: OverheadModel::default(),
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// Overrides the overhead model (builder style).
+    pub fn with_overhead(mut self, overhead: OverheadModel) -> Self {
+        self.overhead = overhead;
+        self
+    }
+
+    /// The proxy name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ProxyConfig {
+        &self.config
+    }
+
+    /// The routing statistics accumulated so far.
+    pub fn stats(&self) -> &ProxyStats {
+        &self.stats
+    }
+
+    /// The overhead model in use.
+    pub fn overhead(&self) -> &OverheadModel {
+        &self.overhead
+    }
+
+    /// Applies a new configuration pushed by the engine. Sticky-session
+    /// bindings are cleared because the new state defines new buckets.
+    pub fn apply_config(&mut self, config: ProxyConfig) {
+        self.sessions.clear();
+        self.config = config;
+        self.stats.config_updates += 1;
+    }
+
+    /// Whether any strategy-driven rules are currently installed.
+    pub fn is_active(&self) -> bool {
+        !self.config.rules().is_empty()
+    }
+
+    /// Routes one request and returns the decision.
+    pub fn route(&mut self, request: &ProxyRequest) -> RoutingDecision {
+        self.route_user(request, None)
+    }
+
+    /// Routes one request with the full user object available for selector
+    /// evaluation (e.g. country filters). Without it only percentage/All
+    /// selectors can match.
+    pub fn route_user(&mut self, request: &ProxyRequest, user: Option<&User>) -> RoutingDecision {
+        self.stats.requests += 1;
+        let mut decision = match self.config.split_rule().cloned() {
+            None => RoutingDecision::to(self.config.default_version()),
+            Some(ProxyRule::Split {
+                split,
+                sticky,
+                selector,
+                mode,
+            }) => {
+                let selected = match (user, request.user) {
+                    (Some(user), _) => selector.selects(user),
+                    (None, Some(user_id)) => selector.selects(&User::new(user_id)),
+                    (None, None) => true,
+                };
+                if !selected {
+                    RoutingDecision::to(self.config.default_version())
+                } else {
+                    match mode {
+                        RoutingMode::HeaderBased => self.route_by_header(request, &split),
+                        RoutingMode::CookieBased => self.route_by_cookie(request, &split, sticky),
+                    }
+                }
+            }
+            Some(ProxyRule::Shadow { .. }) => RoutingDecision::to(self.config.default_version()),
+        };
+
+        for rule in self.config.shadow_rules() {
+            if let ProxyRule::Shadow { route } = rule {
+                if route.source == decision.primary || route.source == self.config.default_version()
+                {
+                    // Percentage-based duplication: hash the request's
+                    // session/user identity so the same share of traffic is
+                    // consistently duplicated.
+                    let draw = request
+                        .session_token()
+                        .map(SessionToken::bucket_draw)
+                        .or_else(|| request.user.map(user_draw))
+                        .unwrap_or(0.0);
+                    if draw < route.percentage.fraction() {
+                        decision.shadows.push(ShadowCopy {
+                            target: route.target,
+                        });
+                        self.stats.shadow_copies += 1;
+                    }
+                }
+            }
+        }
+
+        *self.stats.per_version.entry(decision.primary).or_insert(0) += 1;
+        if decision.from_sticky_session {
+            self.stats.sticky_hits += 1;
+        }
+        decision
+    }
+
+    /// The CPU demand of processing one request under the current
+    /// configuration, given the routing decision produced for it.
+    pub fn processing_cost(&self, decision: &RoutingDecision) -> Duration {
+        if !self.is_active() {
+            return self.overhead.passthrough_cost();
+        }
+        let (mode, sticky) = match self.config.split_rule() {
+            Some(ProxyRule::Split { mode, sticky, .. }) => (*mode, *sticky),
+            _ => (RoutingMode::CookieBased, false),
+        };
+        self.overhead
+            .request_cost(mode, sticky, decision.shadows.len())
+    }
+
+    fn route_by_header(&mut self, request: &ProxyRequest, split: &bifrost_core::TrafficSplit) -> RoutingDecision {
+        let versions: Vec<VersionId> = split.versions().collect();
+        let target = match request.group_header() {
+            Some("A") | Some("a") => versions.first().copied(),
+            Some("B") | Some("b") => versions.get(1).copied(),
+            Some(other) => other
+                .parse::<usize>()
+                .ok()
+                .and_then(|idx| versions.get(idx).copied()),
+            None => None,
+        };
+        RoutingDecision::to(target.unwrap_or(self.config.default_version()))
+    }
+
+    fn route_by_cookie(
+        &mut self,
+        request: &ProxyRequest,
+        split: &bifrost_core::TrafficSplit,
+        sticky: bool,
+    ) -> RoutingDecision {
+        // A returning client with a bound session keeps its version.
+        if sticky {
+            if let Some(token) = request.session_token() {
+                if let Some(version) = self.sessions.lookup(token) {
+                    let mut decision = RoutingDecision::to(version);
+                    decision.from_sticky_session = true;
+                    return decision;
+                }
+            }
+        }
+        // Otherwise bucket the client: prefer the session token (returning
+        // anonymous client), then the user id, then a fresh token.
+        let (token, draw) = match (request.session_token(), request.user) {
+            (Some(token), _) => (Some(token), token.bucket_draw()),
+            (None, Some(user)) => (None, user_draw(user)),
+            (None, None) => {
+                let token = self.tokens.next_token();
+                (Some(token), token.bucket_draw())
+            }
+        };
+        let version = split.pick(draw);
+        let mut decision = RoutingDecision::to(version);
+        if sticky {
+            let token = token.unwrap_or_else(|| self.tokens.next_token());
+            self.sessions.bind(token, version);
+            decision.set_cookie = Some(token);
+        } else if request.session_token().is_none() && request.user.is_none() {
+            // Non-sticky cookie routing still sets the re-identification
+            // cookie so that traffic shares stay consistent per client.
+            decision.set_cookie = token;
+        }
+        decision
+    }
+
+    /// Read access to the sticky-session table (for tests and dashboards).
+    pub fn sessions(&self) -> &SessionStore {
+        &self.sessions
+    }
+}
+
+/// Deterministically hashes a user id into `[0, 1)` for bucketing.
+fn user_draw(user: UserId) -> f64 {
+    let mut z = user.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bifrost_core::ids::ServiceId;
+    use bifrost_core::routing::{DarkLaunchRoute, Percentage, TrafficSplit};
+    use bifrost_core::user::UserSelector;
+
+    fn ids() -> (ServiceId, VersionId, VersionId) {
+        (ServiceId::new(0), VersionId::new(0), VersionId::new(1))
+    }
+
+    fn canary_config(share: f64, sticky: bool, mode: RoutingMode) -> ProxyConfig {
+        let (service, stable, canary) = ids();
+        let split = TrafficSplit::canary(stable, canary, Percentage::new(share).unwrap()).unwrap();
+        ProxyConfig::new(service, stable).with_rule(ProxyRule::split(
+            split,
+            sticky,
+            UserSelector::All,
+            mode,
+        ))
+    }
+
+    #[test]
+    fn inactive_proxy_forwards_to_default() {
+        let (service, stable, _) = ids();
+        let mut proxy = BifrostProxy::new("search-proxy", ProxyConfig::new(service, stable));
+        assert!(!proxy.is_active());
+        let decision = proxy.route(&ProxyRequest::from_user(UserId::new(1)));
+        assert_eq!(decision.primary, stable);
+        assert!(decision.shadows.is_empty());
+        assert_eq!(proxy.processing_cost(&decision), proxy.overhead().passthrough_cost());
+        assert_eq!(proxy.stats().requests, 1);
+        assert_eq!(proxy.name(), "search-proxy");
+    }
+
+    #[test]
+    fn canary_split_approximates_share_over_users() {
+        let mut proxy = BifrostProxy::new("p", canary_config(10.0, false, RoutingMode::CookieBased));
+        let n = 20_000;
+        let canary_hits = (0..n)
+            .map(|i| proxy.route(&ProxyRequest::from_user(UserId::new(i))))
+            .filter(|d| d.primary == VersionId::new(1))
+            .count();
+        let share = canary_hits as f64 / n as f64;
+        assert!((share - 0.10).abs() < 0.01, "share {share}");
+        assert_eq!(proxy.stats().requests, n);
+        assert_eq!(
+            proxy.stats().per_version[&VersionId::new(1)] as usize,
+            canary_hits
+        );
+    }
+
+    #[test]
+    fn same_user_is_routed_consistently_without_sticky_sessions() {
+        // Cookie-based bucketing hashes the user id, so repeated requests by
+        // the same user land on the same version even without stickiness.
+        let mut proxy = BifrostProxy::new("p", canary_config(50.0, false, RoutingMode::CookieBased));
+        let first = proxy.route(&ProxyRequest::from_user(UserId::new(7))).primary;
+        for _ in 0..20 {
+            assert_eq!(proxy.route(&ProxyRequest::from_user(UserId::new(7))).primary, first);
+        }
+    }
+
+    #[test]
+    fn sticky_sessions_pin_anonymous_clients_via_cookie() {
+        let mut proxy = BifrostProxy::new("p", canary_config(50.0, true, RoutingMode::CookieBased));
+        // First request: anonymous, gets a Set-Cookie.
+        let first = proxy.route(&ProxyRequest::new());
+        let token = first.set_cookie.expect("cookie must be set");
+        // Subsequent requests with the cookie keep the version and hit the
+        // session table.
+        for _ in 0..10 {
+            let followup = proxy.route(&ProxyRequest::new().with_session(token));
+            assert_eq!(followup.primary, first.primary);
+            assert!(followup.from_sticky_session);
+        }
+        assert_eq!(proxy.stats().sticky_hits, 10);
+        assert_eq!(proxy.sessions().len(), 1);
+    }
+
+    #[test]
+    fn config_update_clears_sessions_and_counts() {
+        let mut proxy = BifrostProxy::new("p", canary_config(50.0, true, RoutingMode::CookieBased));
+        let first = proxy.route(&ProxyRequest::new());
+        assert_eq!(proxy.sessions().len(), 1);
+        proxy.apply_config(canary_config(80.0, true, RoutingMode::CookieBased));
+        assert_eq!(proxy.sessions().len(), 0);
+        assert_eq!(proxy.stats().config_updates, 1);
+        // The old cookie no longer binds.
+        let rerouted = proxy.route(&ProxyRequest::new().with_session(first.set_cookie.unwrap()));
+        assert!(!rerouted.from_sticky_session);
+    }
+
+    #[test]
+    fn header_routing_uses_upstream_group_header() {
+        let (_, stable, canary) = ids();
+        let mut proxy = BifrostProxy::new("p", canary_config(50.0, false, RoutingMode::HeaderBased));
+        let a = proxy.route(&ProxyRequest::new().with_header("x-bifrost-group", "A"));
+        let b = proxy.route(&ProxyRequest::new().with_header("x-bifrost-group", "B"));
+        let by_index = proxy.route(&ProxyRequest::new().with_header("x-bifrost-group", "1"));
+        let missing = proxy.route(&ProxyRequest::new());
+        let garbage = proxy.route(&ProxyRequest::new().with_header("x-bifrost-group", "zzz"));
+        assert_eq!(a.primary, stable);
+        assert_eq!(b.primary, canary);
+        assert_eq!(by_index.primary, canary);
+        assert_eq!(missing.primary, stable);
+        assert_eq!(garbage.primary, stable);
+    }
+
+    #[test]
+    fn selector_excludes_users_from_the_experiment() {
+        let (service, stable, canary) = ids();
+        let split = TrafficSplit::canary(stable, canary, Percentage::new(100.0).unwrap()).unwrap();
+        let config = ProxyConfig::new(service, stable).with_rule(ProxyRule::split(
+            split,
+            false,
+            UserSelector::attribute("country", "US"),
+            RoutingMode::CookieBased,
+        ));
+        let mut proxy = BifrostProxy::new("p", config);
+        let us_user = User::new(UserId::new(1)).with_attribute("country", "US");
+        let eu_user = User::new(UserId::new(2)).with_attribute("country", "EU");
+        let us = proxy.route_user(&ProxyRequest::from_user(UserId::new(1)), Some(&us_user));
+        let eu = proxy.route_user(&ProxyRequest::from_user(UserId::new(2)), Some(&eu_user));
+        assert_eq!(us.primary, canary);
+        assert_eq!(eu.primary, stable);
+    }
+
+    #[test]
+    fn dark_launch_duplicates_all_traffic_at_100_percent() {
+        let (service, stable, canary) = ids();
+        let config = ProxyConfig::new(service, stable).with_rule(ProxyRule::shadow(
+            DarkLaunchRoute::new(stable, canary, Percentage::full()),
+        ));
+        let mut proxy = BifrostProxy::new("p", config);
+        for i in 0..100 {
+            let decision = proxy.route(&ProxyRequest::from_user(UserId::new(i)));
+            assert_eq!(decision.primary, stable);
+            assert_eq!(decision.shadows, vec![ShadowCopy { target: canary }]);
+        }
+        assert_eq!(proxy.stats().shadow_copies, 100);
+    }
+
+    #[test]
+    fn partial_dark_launch_duplicates_roughly_the_configured_share() {
+        let (service, stable, canary) = ids();
+        let config = ProxyConfig::new(service, stable).with_rule(ProxyRule::shadow(
+            DarkLaunchRoute::new(stable, canary, Percentage::new(25.0).unwrap()),
+        ));
+        let mut proxy = BifrostProxy::new("p", config);
+        let n = 20_000;
+        let shadowed = (0..n)
+            .map(|i| proxy.route(&ProxyRequest::from_user(UserId::new(i))))
+            .filter(|d| !d.shadows.is_empty())
+            .count();
+        let share = shadowed as f64 / n as f64;
+        assert!((share - 0.25).abs() < 0.02, "share {share}");
+    }
+
+    #[test]
+    fn processing_cost_reflects_mode_and_shadows() {
+        let mut proxy = BifrostProxy::new("p", canary_config(50.0, true, RoutingMode::CookieBased));
+        let decision = proxy.route(&ProxyRequest::from_user(UserId::new(3)));
+        let base_cost = proxy.processing_cost(&decision);
+        assert!(base_cost > proxy.overhead().passthrough_cost());
+
+        let (service, stable, canary) = ids();
+        let dark = ProxyConfig::new(service, stable).with_rule(ProxyRule::shadow(
+            DarkLaunchRoute::new(stable, canary, Percentage::full()),
+        ));
+        let mut dark_proxy = BifrostProxy::new("p2", dark).with_overhead(OverheadModel::node_prototype());
+        let decision = dark_proxy.route(&ProxyRequest::from_user(UserId::new(3)));
+        assert!(dark_proxy.processing_cost(&decision) > base_cost);
+    }
+}

@@ -1,0 +1,224 @@
+//! Sticky sessions: cookie tokens and the session table.
+//!
+//! When a proxy uses cookie-based routing with sticky sessions, it sets a
+//! UUID cookie on the client's first request and remembers which version the
+//! client was bucketed into; subsequent requests carrying the cookie are
+//! routed to the same version for the remainder of the state.
+
+use bifrost_core::ids::VersionId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An RFC-4122-shaped session token carried in the proxy's cookie.
+///
+/// Tokens are generated deterministically from a per-proxy counter and seed
+/// (a splitmix64 step formatted as a version-4 UUID), which keeps simulated
+/// experiments reproducible while preserving the uniqueness property the
+/// proxy relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SessionToken(u128);
+
+impl SessionToken {
+    /// Creates a token from its raw 128-bit value.
+    pub const fn from_raw(raw: u128) -> Self {
+        Self(raw)
+    }
+
+    /// The raw 128-bit value.
+    pub const fn raw(self) -> u128 {
+        self.0
+    }
+
+    /// A uniform draw in `[0, 1)` derived from the token, used to bucket the
+    /// session into a traffic split consistently across requests.
+    pub fn bucket_draw(self) -> f64 {
+        // Use the top 53 bits for a uniformly distributed double.
+        let top = (self.0 >> 75) as u64;
+        top as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl fmt::Display for SessionToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render the raw bytes verbatim in the 8-4-4-4-12 grouping so that the
+        // cookie value parses back to exactly this token. Generated tokens
+        // already carry RFC 4122 version/variant bits (see
+        // [`TokenGenerator::next_token`]).
+        let bytes = self.0.to_be_bytes();
+        for (i, byte) in bytes.iter().enumerate() {
+            if matches!(i, 4 | 6 | 8 | 10) {
+                write!(f, "-")?;
+            }
+            write!(f, "{byte:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic token generator (one per proxy).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenGenerator {
+    state: u64,
+}
+
+impl TokenGenerator {
+    /// Creates a generator from a seed.
+    pub fn seeded(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Produces the next token, stamped with RFC 4122 version-4 and variant
+    /// bits so the rendered cookie is a well-formed random UUID.
+    pub fn next_token(&mut self) -> SessionToken {
+        let a = splitmix64(&mut self.state);
+        let b = splitmix64(&mut self.state);
+        let mut bytes = (((a as u128) << 64) | b as u128).to_be_bytes();
+        bytes[6] = (bytes[6] & 0x0f) | 0x40;
+        bytes[8] = (bytes[8] & 0x3f) | 0x80;
+        SessionToken(u128::from_be_bytes(bytes))
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The sticky-session table of a proxy: token → version.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionStore {
+    bindings: BTreeMap<SessionToken, VersionId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SessionStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up the version bound to a token, recording a hit or miss.
+    pub fn lookup(&mut self, token: SessionToken) -> Option<VersionId> {
+        match self.bindings.get(&token) {
+            Some(version) => {
+                self.hits += 1;
+                Some(*version)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Binds a token to a version.
+    pub fn bind(&mut self, token: SessionToken, version: VersionId) {
+        self.bindings.insert(token, version);
+    }
+
+    /// Removes every binding (called on state transitions, where assignments
+    /// are rebuilt from the new routing configuration).
+    pub fn clear(&mut self) {
+        self.bindings.clear();
+    }
+
+    /// Number of bound sessions.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+
+    /// Number of successful lookups.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of failed lookups.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of sessions currently bound to `version`.
+    pub fn sessions_on(&self, version: VersionId) -> usize {
+        self.bindings.values().filter(|v| **v == version).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_are_unique_and_deterministic() {
+        let mut gen_a = TokenGenerator::seeded(1);
+        let mut gen_b = TokenGenerator::seeded(1);
+        let a: Vec<SessionToken> = (0..100).map(|_| gen_a.next_token()).collect();
+        let b: Vec<SessionToken> = (0..100).map(|_| gen_b.next_token()).collect();
+        assert_eq!(a, b);
+        let unique: std::collections::BTreeSet<_> = a.iter().collect();
+        assert_eq!(unique.len(), 100);
+    }
+
+    #[test]
+    fn token_renders_as_rfc4122_uuid() {
+        let mut generator = TokenGenerator::seeded(7);
+        let token = generator.next_token();
+        let text = token.to_string();
+        assert_eq!(text.len(), 36);
+        let parts: Vec<&str> = text.split('-').collect();
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts[0].len(), 8);
+        assert_eq!(parts[1].len(), 4);
+        assert_eq!(parts[2].len(), 4);
+        assert_eq!(parts[3].len(), 4);
+        assert_eq!(parts[4].len(), 12);
+        // Version nibble is 4.
+        assert!(parts[2].starts_with('4'));
+        assert_eq!(SessionToken::from_raw(token.raw()), token);
+    }
+
+    #[test]
+    fn bucket_draw_is_uniform_in_unit_interval() {
+        let mut generator = TokenGenerator::seeded(11);
+        let n = 10_000;
+        let draws: Vec<f64> = (0..n).map(|_| generator.next_token().bucket_draw()).collect();
+        assert!(draws.iter().all(|d| (0.0..1.0).contains(d)));
+        let mean = draws.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn session_store_binding_lifecycle() {
+        let mut store = SessionStore::new();
+        let mut generator = TokenGenerator::seeded(3);
+        let token = generator.next_token();
+        let v1 = VersionId::new(1);
+        let v2 = VersionId::new(2);
+
+        assert!(store.lookup(token).is_none());
+        store.bind(token, v1);
+        assert_eq!(store.lookup(token), Some(v1));
+        assert_eq!(store.hits(), 1);
+        assert_eq!(store.misses(), 1);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.sessions_on(v1), 1);
+        assert_eq!(store.sessions_on(v2), 0);
+
+        // Rebinding overwrites.
+        store.bind(token, v2);
+        assert_eq!(store.lookup(token), Some(v2));
+
+        store.clear();
+        assert!(store.is_empty());
+        assert!(store.lookup(token).is_none());
+    }
+}

@@ -1,0 +1,245 @@
+//! A generic discrete-event scheduler.
+//!
+//! The scheduler is a priority queue of `(SimTime, payload)` entries with a
+//! stable tie-break (insertion order), so events scheduled for the same
+//! virtual instant are delivered in FIFO order. The engine, the workload
+//! generator, and the experiment harnesses instantiate it with their own
+//! payload types.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// One scheduled event: when it fires and what it carries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// The virtual time at which the event fires.
+    pub at: SimTime,
+    /// Monotonically increasing sequence number (FIFO tie-break).
+    pub sequence: u64,
+    /// The event payload.
+    pub payload: E,
+}
+
+/// Internal heap entry ordered by (time, sequence) ascending.
+struct HeapEntry<E> {
+    at: SimTime,
+    sequence: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.sequence == other.sequence
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.sequence).cmp(&(other.at, other.sequence))
+    }
+}
+
+/// A discrete-event scheduler over payloads of type `E`.
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<HeapEntry<E>>>,
+    now: SimTime,
+    next_sequence: u64,
+    processed: u64,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_sequence: 0,
+            processed: 0,
+        }
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current virtual time (the fire time of the most recently popped
+    /// event, or zero initially).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules a payload at an absolute virtual time. Events scheduled in
+    /// the past fire "now" (they are clamped to the current time).
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> u64 {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(Reverse(HeapEntry {
+            at: at.max(self.now),
+            sequence,
+            payload,
+        }));
+        sequence
+    }
+
+    /// Schedules a payload `delay` after the current time.
+    pub fn schedule_after(&mut self, delay: std::time::Duration, payload: E) -> u64 {
+        self.schedule_at(self.now + delay, payload)
+    }
+
+    /// Pops the next event, advancing the virtual clock to its fire time.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        self.heap.pop().map(|Reverse(entry)| {
+            self.now = self.now.max(entry.at);
+            self.processed += 1;
+            ScheduledEvent {
+                at: entry.at,
+                sequence: entry.sequence,
+                payload: entry.payload,
+            }
+        })
+    }
+
+    /// Pops the next event only if it fires at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<ScheduledEvent<E>> {
+        match self.heap.peek() {
+            Some(Reverse(entry)) if entry.at <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// The fire time of the next event without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(entry)| entry.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of events processed so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Advances the clock to `at` without processing events (used to close
+    /// out an experiment window after the last event).
+    pub fn advance_to(&mut self, at: SimTime) {
+        self.now = self.now.max(at);
+    }
+
+    /// Drains and returns all events firing at or before `deadline`, in
+    /// order.
+    pub fn drain_until(&mut self, deadline: SimTime) -> Vec<ScheduledEvent<E>> {
+        let mut events = Vec::new();
+        while let Some(event) = self.pop_until(deadline) {
+            events.push(event);
+        }
+        self.advance_to(deadline);
+        events
+    }
+}
+
+impl<E> fmt::Debug for Scheduler<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(3), "c");
+        s.schedule_at(SimTime::from_secs(1), "a");
+        s.schedule_at(SimTime::from_secs(2), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| s.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(s.now(), SimTime::from_secs(3));
+        assert_eq!(s.processed(), 3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..10 {
+            s.schedule_at(SimTime::from_secs(5), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(10), "later");
+        s.pop();
+        assert_eq!(s.now(), SimTime::from_secs(10));
+        s.schedule_at(SimTime::from_secs(1), "stale");
+        let event = s.pop().unwrap();
+        assert_eq!(event.at, SimTime::from_secs(10));
+        // Time never goes backwards.
+        assert_eq!(s.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn schedule_after_uses_current_time() {
+        let mut s: Scheduler<&str> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(2), "first");
+        s.pop();
+        s.schedule_after(Duration::from_secs(3), "second");
+        assert_eq!(s.peek_time(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), 1);
+        s.schedule_at(SimTime::from_secs(10), 2);
+        assert!(s.pop_until(SimTime::from_secs(5)).is_some());
+        assert!(s.pop_until(SimTime::from_secs(5)).is_none());
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn drain_until_advances_clock_to_deadline() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), 1);
+        s.schedule_at(SimTime::from_secs(2), 2);
+        s.schedule_at(SimTime::from_secs(9), 3);
+        let drained = s.drain_until(SimTime::from_secs(5));
+        assert_eq!(drained.len(), 2);
+        assert_eq!(s.now(), SimTime::from_secs(5));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn debug_output_mentions_pending_count() {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        s.schedule_at(SimTime::from_secs(1), 1);
+        assert!(format!("{s:?}").contains("pending"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Many teams, many rollouts: the scenario behind Figures 7 and 8.
+//!
+//! A large organisation has dozens of product teams releasing independently;
+//! every team runs its own multi-phase live testing strategy, and all of
+//! them are enacted by one Bifrost engine on a single-core cloud instance.
+//! This example schedules an increasing number of release "trains" and
+//! reports the engine's CPU utilisation and the per-strategy enactment
+//! delay.
+//!
+//! Run with `cargo run --release --example parallel_release_trains`.
+
+use bifrost::casestudy::{trimmed_strategy, CaseStudyTopology};
+use bifrost::engine::{BifrostEngine, EngineConfig};
+use bifrost::metrics::{SeriesKey, SharedMetricStore, TimestampMs};
+use bifrost::simnet::SimTime;
+
+fn run_with(parallel: usize) -> (f64, f64, usize) {
+    let topology = CaseStudyTopology::new();
+    let store = SharedMetricStore::new();
+    // Healthy, flat error counters so every strategy walks its full length.
+    for t in (0..1_200).step_by(5) {
+        store.record_value(
+            SeriesKey::new("request_errors").with_label("version", "product-a"),
+            TimestampMs::from_secs(t),
+            0.0,
+        );
+    }
+
+    let mut engine = BifrostEngine::new(EngineConfig::default());
+    engine.register_store_provider("prometheus", store);
+    engine.register_proxy(topology.product_service, topology.product_stable);
+
+    let handles: Vec<_> = (0..parallel)
+        .map(|_| engine.schedule(trimmed_strategy(&topology), SimTime::ZERO))
+        .collect();
+    engine.run_to_completion(SimTime::from_secs(3_600));
+
+    let mean_cpu = {
+        let trace = engine.utilization_trace();
+        trace.iter().map(|(_, u)| *u).sum::<f64>() / trace.len().max(1) as f64
+    };
+    let reports: Vec<_> = handles.iter().filter_map(|h| engine.report(*h)).collect();
+    let mean_delay = reports
+        .iter()
+        .filter_map(|r| r.enactment_delay())
+        .map(|d| d.as_secs_f64())
+        .sum::<f64>()
+        / reports.len().max(1) as f64;
+    let succeeded = reports.iter().filter(|r| r.succeeded()).count();
+    (mean_cpu, mean_delay, succeeded)
+}
+
+fn main() {
+    println!("parallel release trains on a single-core Bifrost engine\n");
+    println!(
+        "{:>10} {:>14} {:>16} {:>12}",
+        "strategies", "mean CPU (%)", "mean delay (s)", "succeeded"
+    );
+    for parallel in [1usize, 10, 25, 50, 100] {
+        let (cpu, delay, succeeded) = run_with(parallel);
+        println!("{parallel:>10} {cpu:>14.1} {delay:>16.2} {succeeded:>12}");
+    }
+    println!("\nAll strategies complete even at 100 parallel rollouts — the delay, not");
+    println!("correctness, is what degrades as the single core saturates (Figures 7 & 8).");
+}

@@ -1,0 +1,95 @@
+//! Quickstart: define a strategy in the DSL, compile it, enact it on virtual
+//! time, and inspect the result.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use bifrost::dsl;
+use bifrost::engine::{BifrostEngine, EngineConfig};
+use bifrost::metrics::{SeriesKey, SharedMetricStore, TimestampMs};
+use bifrost::simnet::SimTime;
+
+const STRATEGY: &str = r#"
+name: quickstart-fastsearch
+deployment:
+  services:
+    - service: search
+      proxy: search-proxy:8080
+      versions:
+        - name: search-v1
+          host: 10.0.0.1
+          port: 8080
+        - name: fastsearch
+          host: 10.0.0.2
+          port: 8080
+strategy:
+  phases:
+    - phase: canary
+      name: canary-5
+      service: search
+      stable: search-v1
+      candidate: fastsearch
+      traffic: 5
+      duration: 120
+      checks:
+        - name: error-count
+          provider: prometheus
+          query: request_errors{instance="search:80"}
+          interval: 12
+          executions: 10
+          validator: "<5"
+    - phase: rollout
+      name: ramp-up
+      service: search
+      stable: search-v1
+      candidate: fastsearch
+      from_traffic: 10
+      to_traffic: 100
+      step: 10
+      step_duration: 30
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Parse and compile the strategy.
+    let strategy = dsl::parse_strategy(STRATEGY)?;
+    println!(
+        "compiled strategy '{}' with {} automaton states (nominal duration {:.0}s)",
+        strategy.name(),
+        strategy.automaton().state_count(),
+        strategy.nominal_duration().as_secs_f64()
+    );
+
+    // 2. Set up an engine with an in-process metric store acting as
+    //    Prometheus, and register a proxy for the search service.
+    let store = SharedMetricStore::new();
+    let mut engine = BifrostEngine::new(EngineConfig::default());
+    engine.register_store_provider("prometheus", store.clone());
+    let (search_id, _) = strategy
+        .services()
+        .service_by_name("search")
+        .expect("search service exists");
+    let stable = strategy.services().versions_of(search_id)[0];
+    engine.register_proxy(search_id, stable);
+
+    // 3. Feed healthy monitoring data so the canary checks pass: the error
+    //    counter stays flat (no new errors).
+    for t in (0..600).step_by(5) {
+        store.record_value(
+            SeriesKey::new("request_errors").with_label("instance", "search:80"),
+            TimestampMs::from_secs(t),
+            2.0,
+        );
+    }
+
+    // 4. Enact. Everything runs on virtual time, so this finishes instantly.
+    let handle = engine.schedule(strategy, SimTime::ZERO);
+    engine.run_to_completion(SimTime::from_secs(3_600));
+
+    // 5. Inspect the outcome.
+    let report = engine.report(handle).expect("strategy was scheduled");
+    println!("{}", report.summary());
+    for event in engine.events().for_strategy(handle.id()) {
+        println!("  {}", event.describe());
+    }
+    assert!(report.succeeded(), "healthy metrics should lead to a full rollout");
+    Ok(())
+}

@@ -1,0 +1,198 @@
+//! End-to-end integration tests: DSL source → compiled strategy → engine
+//! enactment, spanning every crate of the workspace.
+
+use bifrost::dsl;
+use bifrost::engine::{BifrostEngine, EngineConfig, EngineEvent};
+use bifrost::metrics::{SeriesKey, SharedMetricStore, TimestampMs};
+use bifrost::simnet::SimTime;
+
+const MULTI_PHASE: &str = r#"
+name: integration-search-rollout
+deployment:
+  services:
+    - service: search
+      proxy: search-proxy:8080
+      versions:
+        - name: search-v1
+          host: 10.0.0.1
+          port: 8080
+        - name: fastsearch
+          host: 10.0.0.2
+          port: 8080
+strategy:
+  phases:
+    - phase: canary
+      name: canary-5
+      service: search
+      stable: search-v1
+      candidate: fastsearch
+      traffic: 5
+      duration: 60
+      checks:
+        - name: error-count
+          provider: prometheus
+          query: request_errors{instance="search:80"}
+          interval: 12
+          executions: 5
+          validator: "<5"
+    - phase: dark_launch
+      name: shadow-all
+      service: search
+      from: search-v1
+      to: fastsearch
+      traffic: 100
+      duration: 60
+    - phase: ab_test
+      name: ab
+      service: search
+      a: search-v1
+      b: fastsearch
+      duration: 60
+      checks:
+        - name: sales
+          provider: prometheus
+          query: items_sold_total{version="fastsearch"}
+          interval: 60
+          executions: 1
+          validator: ">0"
+    - phase: rollout
+      name: ramp
+      service: search
+      stable: search-v1
+      candidate: fastsearch
+      from_traffic: 20
+      to_traffic: 100
+      step: 20
+      step_duration: 15
+"#;
+
+fn engine_with_store() -> (BifrostEngine, SharedMetricStore) {
+    let store = SharedMetricStore::new();
+    let mut engine = BifrostEngine::new(EngineConfig::default());
+    engine.register_store_provider("prometheus", store.clone());
+    (engine, store)
+}
+
+fn feed_healthy_metrics(store: &SharedMetricStore) {
+    for t in (0..2_000).step_by(5) {
+        store.record_value(
+            SeriesKey::new("request_errors").with_label("instance", "search:80"),
+            TimestampMs::from_secs(t),
+            1.0,
+        );
+        store.record_value(
+            SeriesKey::new("items_sold_total").with_label("version", "fastsearch"),
+            TimestampMs::from_secs(t),
+            1.0 + t as f64 / 60.0,
+        );
+    }
+}
+
+#[test]
+fn dsl_strategy_runs_through_all_phases_and_succeeds() {
+    let strategy = dsl::parse_strategy(MULTI_PHASE).expect("valid DSL");
+    assert_eq!(strategy.name(), "integration-search-rollout");
+    let nominal = strategy.nominal_duration();
+
+    let (mut engine, store) = engine_with_store();
+    feed_healthy_metrics(&store);
+    let (search, _) = strategy.services().service_by_name("search").unwrap();
+    let stable = strategy.services().versions_of(search)[0];
+    let proxy = engine.register_proxy(search, stable);
+
+    let handle = engine.schedule(strategy, SimTime::ZERO);
+    engine.run_to_completion(SimTime::from_secs(3_600));
+
+    let report = engine.report(handle).unwrap();
+    assert!(report.succeeded(), "report: {report:?}");
+    // canary + dark + ab + 5 rollout steps (20..100) + success = 9 entries.
+    assert_eq!(report.state_history.len(), 9);
+    assert!(report.measured_duration().unwrap() >= nominal);
+    assert!(report.enactment_delay().unwrap() < std::time::Duration::from_secs(5));
+
+    // The proxy ends the run routing all traffic to the new version.
+    let stats = proxy.read().stats().clone();
+    assert!(stats.config_updates >= 8, "config updates {}", stats.config_updates);
+
+    // The event log contains every lifecycle milestone.
+    let events = engine.events();
+    assert!(events
+        .for_strategy(handle.id())
+        .any(|e| matches!(e, EngineEvent::StrategyStarted { .. })));
+    assert!(events
+        .for_strategy(handle.id())
+        .any(|e| matches!(e, EngineEvent::StrategyCompleted { success: true, .. })));
+    let check_executions = events
+        .for_strategy(handle.id())
+        .filter(|e| matches!(e, EngineEvent::CheckExecuted { .. }))
+        .count();
+    // 5 canary executions + 1 dark pass + 1 ab sales + 5 rollout passes.
+    assert!(check_executions >= 12, "check executions {check_executions}");
+}
+
+#[test]
+fn dsl_strategy_rolls_back_on_bad_metrics() {
+    let strategy = dsl::parse_strategy(MULTI_PHASE).expect("valid DSL");
+    let (mut engine, store) = engine_with_store();
+    // Error counts far above the "< 5" validator.
+    for t in (0..2_000).step_by(5) {
+        store.record_value(
+            SeriesKey::new("request_errors").with_label("instance", "search:80"),
+            TimestampMs::from_secs(t),
+            50.0,
+        );
+    }
+    let (search, _) = strategy.services().service_by_name("search").unwrap();
+    let stable = strategy.services().versions_of(search)[0];
+    engine.register_proxy(search, stable);
+
+    let handle = engine.schedule(strategy, SimTime::ZERO);
+    engine.run_to_completion(SimTime::from_secs(3_600));
+    let report = engine.report(handle).unwrap();
+    assert!(report.is_finished());
+    assert!(!report.succeeded());
+    // The rollback happens right after the canary phase: canary + rollback.
+    assert_eq!(report.state_history.len(), 2);
+}
+
+#[test]
+fn many_dsl_strategies_run_in_parallel_on_one_engine() {
+    let (mut engine, store) = engine_with_store();
+    feed_healthy_metrics(&store);
+
+    let mut handles = Vec::new();
+    for i in 0..25 {
+        let strategy = dsl::parse_strategy(MULTI_PHASE).expect("valid DSL");
+        let (search, _) = strategy.services().service_by_name("search").unwrap();
+        let stable = strategy.services().versions_of(search)[0];
+        if i == 0 {
+            engine.register_proxy(search, stable);
+        }
+        handles.push(engine.schedule(strategy, SimTime::ZERO));
+    }
+    engine.run_to_completion(SimTime::from_secs(7_200));
+    assert!(engine.all_finished());
+    let succeeded = handles
+        .iter()
+        .filter_map(|h| engine.report(*h))
+        .filter(|r| r.succeeded())
+        .count();
+    assert_eq!(succeeded, 25);
+    // Delays grow with contention but stay bounded on the single core.
+    let max_delay = handles
+        .iter()
+        .filter_map(|h| engine.report(*h))
+        .filter_map(|r| r.enactment_delay())
+        .max()
+        .unwrap();
+    assert!(max_delay < std::time::Duration::from_secs(60), "max delay {max_delay:?}");
+}
+
+#[test]
+fn validation_only_parsing_reports_documents_without_compiling() {
+    let document = dsl::parse_document(MULTI_PHASE).expect("valid DSL");
+    assert_eq!(document.phases.len(), 4);
+    assert_eq!(document.deployment.services.len(), 1);
+    assert_eq!(document.phases[0].checks.len(), 1);
+    assert!(dsl::parse_document("nonsense: [unterminated").is_err());
+}

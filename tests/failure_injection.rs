@@ -1,0 +1,266 @@
+//! Failure-injection integration tests: how the engine behaves when
+//! monitoring data degrades or disappears mid-rollout, when regressions
+//! surface only after several phases, and when strategies start while others
+//! are already mid-flight.
+
+use bifrost::core::ids::ServiceId;
+use bifrost::core::phase::PhaseCheck;
+use bifrost::core::prelude::*;
+use bifrost::engine::{BifrostEngine, EngineConfig, EngineEvent};
+use bifrost::metrics::{SeriesKey, SharedMetricStore, TimestampMs};
+use bifrost::simnet::SimTime;
+use std::time::Duration;
+
+struct Fixture {
+    catalog: ServiceCatalog,
+    service: ServiceId,
+    stable: VersionId,
+    canary: VersionId,
+}
+
+fn fixture() -> Fixture {
+    let mut catalog = ServiceCatalog::new();
+    let service = catalog.add_service(Service::new("payments"));
+    let stable = catalog
+        .add_version(service, ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 443)))
+        .unwrap();
+    let canary = catalog
+        .add_version(service, ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 443)))
+        .unwrap();
+    Fixture {
+        catalog,
+        service,
+        stable,
+        canary,
+    }
+}
+
+fn error_check(interval_secs: u64, executions: u32) -> PhaseCheck {
+    PhaseCheck::basic(
+        "error-rate",
+        CheckSpec::single(
+            MetricQuery::new("prometheus", "errors", "payment_errors")
+                .with_aggregation(bifrost::core::check::QueryAggregation::Max)
+                .with_window_secs(interval_secs),
+            Validator::LessThan(5.0),
+        ),
+        Timer::from_secs(interval_secs, executions).unwrap(),
+        // Tolerate a single failing execution (stochastic blips), as the
+        // paper's basic-check semantics intend.
+        OutcomeMapping::binary(executions as i64 - 1, -1, 1).unwrap(),
+    )
+}
+
+fn exception_check(interval_secs: u64, executions: u32) -> PhaseCheck {
+    PhaseCheck::exception(
+        "hard-error-spike",
+        CheckSpec::single(
+            MetricQuery::new("prometheus", "errors", "payment_errors"),
+            Validator::LessThan(50.0),
+        ),
+        Timer::from_secs(interval_secs, executions).unwrap(),
+    )
+}
+
+fn two_phase_strategy(f: &Fixture) -> Strategy {
+    StrategyBuilder::new("payments-rollout", f.catalog.clone())
+        .phase(
+            PhaseSpec::canary("canary", f.service, f.stable, f.canary, Percentage::new(10.0).unwrap())
+                .check(error_check(10, 6))
+                .check(exception_check(10, 6))
+                .duration_secs(60),
+        )
+        .phase(PhaseSpec::gradual_rollout(
+            "ramp",
+            f.service,
+            f.stable,
+            f.canary,
+            Percentage::new(25.0).unwrap(),
+            Percentage::new(100.0).unwrap(),
+            Percentage::new(25.0).unwrap(),
+            Duration::from_secs(30),
+        ))
+        .build()
+        .unwrap()
+}
+
+fn engine_with(store: &SharedMetricStore) -> BifrostEngine {
+    let mut engine = BifrostEngine::new(EngineConfig::default());
+    engine.register_store_provider("prometheus", store.clone());
+    engine
+}
+
+fn record_errors(store: &SharedMetricStore, from_secs: u64, to_secs: u64, level: f64) {
+    for t in (from_secs..to_secs).step_by(5) {
+        store.record_value(
+            SeriesKey::new("payment_errors"),
+            TimestampMs::from_secs(t),
+            level,
+        );
+    }
+}
+
+#[test]
+fn single_failing_execution_is_tolerated_by_basic_checks() {
+    let f = fixture();
+    let store = SharedMetricStore::new();
+    // Healthy everywhere except one short error blip around t = 25 s: exactly
+    // one of the six canary check executions (the one whose look-back window
+    // covers the blip) observes it. The blip stays below the exception
+    // check's hard limit of 50.
+    record_errors(&store, 0, 24, 1.0);
+    record_errors(&store, 24, 29, 30.0);
+    record_errors(&store, 29, 600, 1.0);
+
+    let mut engine = engine_with(&store);
+    engine.register_proxy(f.service, f.stable);
+    let handle = engine.schedule(two_phase_strategy(&f), SimTime::ZERO);
+    engine.run_to_completion(SimTime::from_secs(3_600));
+
+    let report = engine.report(handle).unwrap();
+    assert!(report.succeeded(), "a single blip must not abort the rollout: {report:?}");
+    let failed_executions = engine
+        .events()
+        .for_strategy(handle.id())
+        .filter(|e| matches!(e, EngineEvent::CheckExecuted { success: false, .. }))
+        .count();
+    assert!(failed_executions >= 1, "the blip must have been observed");
+}
+
+#[test]
+fn sustained_regression_rolls_back_even_after_the_canary_phase_passed() {
+    let f = fixture();
+    let store = SharedMetricStore::new();
+    // Healthy during the canary phase, degraded afterwards. The gradual
+    // rollout states carry no checks of their own in this strategy, so add a
+    // second strategy whose ramp carries the check to observe the rollback.
+    let strategy = StrategyBuilder::new("guarded-ramp", f.catalog.clone())
+        .phase(
+            PhaseSpec::canary("canary", f.service, f.stable, f.canary, Percentage::new(10.0).unwrap())
+                .check(error_check(10, 3))
+                .duration_secs(30),
+        )
+        .phase(
+            PhaseSpec::canary("hold-50", f.service, f.stable, f.canary, Percentage::new(50.0).unwrap())
+                .check(error_check(10, 3))
+                .duration_secs(30),
+        )
+        .build()
+        .unwrap();
+    record_errors(&store, 0, 35, 1.0);
+    record_errors(&store, 35, 600, 40.0);
+
+    let mut engine = engine_with(&store);
+    engine.register_proxy(f.service, f.stable);
+    let handle = engine.schedule(strategy, SimTime::ZERO);
+    engine.run_to_completion(SimTime::from_secs(3_600));
+
+    let report = engine.report(handle).unwrap();
+    assert!(report.is_finished());
+    assert!(!report.succeeded(), "late regression must still roll back");
+    // The rollback happened in the second phase, not the first.
+    assert_eq!(report.state_history.len(), 3, "canary, hold-50, rollback");
+}
+
+#[test]
+fn metric_outage_fails_safe_into_rollback() {
+    let f = fixture();
+    let store = SharedMetricStore::new();
+    // Monitoring works for the first 20 seconds, then the provider goes dark
+    // (no samples at all). Checks that cannot fetch data fail, so the
+    // strategy must end in the rollback state rather than proceeding blindly.
+    record_errors(&store, 0, 20, 1.0);
+
+    let mut engine = engine_with(&store);
+    engine.register_proxy(f.service, f.stable);
+    let handle = engine.schedule(two_phase_strategy(&f), SimTime::ZERO);
+    engine.run_to_completion(SimTime::from_secs(3_600));
+
+    let report = engine.report(handle).unwrap();
+    assert!(report.is_finished());
+    assert!(!report.succeeded(), "missing monitoring data must fail safe");
+}
+
+#[test]
+fn unknown_provider_names_fail_safe_into_rollback() {
+    let f = fixture();
+    let store = SharedMetricStore::new();
+    record_errors(&store, 0, 600, 1.0);
+    // The check queries a provider that was never registered (e.g. a typo in
+    // the DSL, or New Relic configured but not deployed).
+    let strategy = StrategyBuilder::new("typo-provider", f.catalog.clone())
+        .phase(
+            PhaseSpec::canary("canary", f.service, f.stable, f.canary, Percentage::new(10.0).unwrap())
+                .check(PhaseCheck::basic(
+                    "errors",
+                    CheckSpec::single(
+                        MetricQuery::new("new_relic", "errors", "payment_errors"),
+                        Validator::LessThan(5.0),
+                    ),
+                    Timer::from_secs(10, 3).unwrap(),
+                    OutcomeMapping::binary(3, -1, 1).unwrap(),
+                ))
+                .duration_secs(30),
+        )
+        .build()
+        .unwrap();
+
+    let mut engine = engine_with(&store);
+    engine.register_proxy(f.service, f.stable);
+    let handle = engine.schedule(strategy, SimTime::ZERO);
+    engine.run_to_completion(SimTime::from_secs(600));
+    assert!(!engine.report(handle).unwrap().succeeded());
+}
+
+#[test]
+fn exception_check_aborts_the_canary_within_one_interval() {
+    let f = fixture();
+    let store = SharedMetricStore::new();
+    // Catastrophic failure from the start: error level far above the
+    // exception threshold of 50.
+    record_errors(&store, 0, 600, 500.0);
+
+    let mut engine = engine_with(&store);
+    engine.register_proxy(f.service, f.stable);
+    let handle = engine.schedule(two_phase_strategy(&f), SimTime::ZERO);
+    engine.run_to_completion(SimTime::from_secs(3_600));
+
+    let report = engine.report(handle).unwrap();
+    assert!(!report.succeeded());
+    // The exception check fires every 10 s; the rollback must happen right
+    // after the first execution instead of waiting for the 60 s phase end.
+    let finished = report.finished_at.expect("finished");
+    assert!(
+        finished < SimTime::from_secs(20),
+        "exception rollback took too long: {finished}"
+    );
+    assert!(engine
+        .events()
+        .for_strategy(handle.id())
+        .any(|e| matches!(e, EngineEvent::ExceptionTriggered { .. })));
+}
+
+#[test]
+fn staggered_strategies_do_not_interfere_with_each_other() {
+    let f = fixture();
+    let store = SharedMetricStore::new();
+    record_errors(&store, 0, 2_000, 1.0);
+
+    let mut engine = engine_with(&store);
+    engine.register_proxy(f.service, f.stable);
+    // Twenty strategies start 10 seconds apart (a realistic release train
+    // rather than the synchronized worst case of the scalability experiment).
+    let handles: Vec<_> = (0..20)
+        .map(|i| engine.schedule(two_phase_strategy(&f), SimTime::from_secs(i * 10)))
+        .collect();
+    engine.run_to_completion(SimTime::from_secs(7_200));
+
+    for handle in &handles {
+        let report = engine.report(*handle).unwrap();
+        assert!(report.succeeded(), "staggered strategy failed: {report:?}");
+        // Staggered starts avoid the synchronized contention, so delays stay
+        // well below a single check interval.
+        assert!(report.enactment_delay().unwrap() < Duration::from_secs(10));
+    }
+    assert!(engine.all_finished());
+}

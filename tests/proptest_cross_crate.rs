@@ -1,0 +1,133 @@
+//! Property-based tests spanning crates: proxy routing against model traffic
+//! splits, DSL round trips, and engine determinism.
+
+use bifrost::core::ids::{ServiceId, UserId, VersionId};
+use bifrost::core::prelude::*;
+use bifrost::engine::{BifrostEngine, EngineConfig};
+use bifrost::metrics::{SeriesKey, SharedMetricStore, TimestampMs};
+use bifrost::proxy::{BifrostProxy, ProxyConfig, ProxyRequest, ProxyRule};
+use bifrost::simnet::SimTime;
+use proptest::prelude::*;
+
+fn canary_proxy(share: f64, sticky: bool) -> BifrostProxy {
+    let service = ServiceId::new(0);
+    let stable = VersionId::new(0);
+    let canary = VersionId::new(1);
+    let split = TrafficSplit::canary(stable, canary, Percentage::new(share).unwrap()).unwrap();
+    BifrostProxy::new(
+        "prop-proxy",
+        ProxyConfig::new(service, stable).with_rule(ProxyRule::split(
+            split,
+            sticky,
+            UserSelector::All,
+            RoutingMode::CookieBased,
+        )),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The measured canary share over many users tracks the configured share.
+    #[test]
+    fn proxy_share_tracks_configuration(share in 5.0f64..95.0) {
+        let mut proxy = canary_proxy(share, false);
+        let n = 4_000u64;
+        let canary_hits = (0..n)
+            .map(|i| proxy.route(&ProxyRequest::from_user(UserId::new(i))))
+            .filter(|d| d.primary == VersionId::new(1))
+            .count();
+        let measured = canary_hits as f64 / n as f64 * 100.0;
+        prop_assert!((measured - share).abs() < 5.0, "configured {share} measured {measured}");
+    }
+
+    /// Routing is per-user deterministic: the same user always lands on the
+    /// same version under an unchanged configuration, with or without sticky
+    /// sessions.
+    #[test]
+    fn proxy_routing_is_deterministic_per_user(share in 1.0f64..99.0, user in 0u64..100_000, sticky in proptest::bool::ANY) {
+        let mut proxy = canary_proxy(share, sticky);
+        let first = proxy.route(&ProxyRequest::from_user(UserId::new(user))).primary;
+        for _ in 0..5 {
+            let next = proxy.route(&ProxyRequest::from_user(UserId::new(user))).primary;
+            prop_assert_eq!(next, first);
+        }
+    }
+
+    /// A DSL document with arbitrary (valid) canary share and durations
+    /// compiles into a strategy whose automaton always has a success and a
+    /// rollback final state reachable from the start.
+    #[test]
+    fn dsl_compilation_preserves_structure(share in 1u32..100, duration in 10u64..600, steps in 1u32..10) {
+        let step = (100 / steps).max(1);
+        let source = format!(
+            "name: prop\nstrategy:\n  phases:\n    - phase: canary\n      service: s\n      stable: a\n      candidate: b\n      traffic: {share}\n      duration: {duration}\n    - phase: rollout\n      service: s\n      stable: a\n      candidate: b\n      from_traffic: {step}\n      to_traffic: 100\n      step: {step}\n      step_duration: 10\n"
+        );
+        let strategy = bifrost::dsl::parse_strategy(&source).unwrap();
+        let automaton = strategy.automaton();
+        prop_assert!(automaton.is_final(strategy.success_state()));
+        prop_assert!(automaton.is_final(strategy.rollback_state()));
+        let reachable = automaton.reachable_states();
+        prop_assert!(reachable.contains(&strategy.success_state()));
+        prop_assert!(reachable.contains(&strategy.rollback_state()));
+        prop_assert!(strategy.nominal_duration().as_secs() >= duration);
+    }
+
+    /// Engine enactment is deterministic: the same strategy, metrics, and
+    /// schedule produce identical state histories and completion times.
+    #[test]
+    fn engine_enactment_is_deterministic(error_level in 0.0f64..10.0) {
+        let run = |error_level: f64| {
+            let mut catalog = ServiceCatalog::new();
+            let service = catalog.add_service(Service::new("search"));
+            let stable = catalog
+                .add_version(service, ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)))
+                .unwrap();
+            let canary = catalog
+                .add_version(service, ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)))
+                .unwrap();
+            let strategy = StrategyBuilder::new("det", catalog)
+                .phase(
+                    PhaseSpec::canary("canary", service, stable, canary, Percentage::new(5.0).unwrap())
+                        .check(bifrost::core::phase::PhaseCheck::basic(
+                            "errors",
+                            CheckSpec::single(
+                                MetricQuery::new("prometheus", "errors", "request_errors"),
+                                Validator::LessThan(5.0),
+                            ),
+                            Timer::from_secs(10, 3).unwrap(),
+                            OutcomeMapping::binary(3, -1, 1).unwrap(),
+                        ))
+                        .duration_secs(30),
+                )
+                .build()
+                .unwrap();
+            let store = SharedMetricStore::new();
+            for t in (0..200).step_by(5) {
+                store.record_value(
+                    SeriesKey::new("request_errors"),
+                    TimestampMs::from_secs(t),
+                    error_level,
+                );
+            }
+            let mut engine = BifrostEngine::new(EngineConfig::default());
+            engine.register_store_provider("prometheus", store);
+            engine.register_proxy(service, stable);
+            let handle = engine.schedule(strategy, SimTime::ZERO);
+            engine.run_to_completion(SimTime::from_secs(600));
+            let report = engine.report(handle).unwrap();
+            (report.succeeded(), report.state_history.clone(), report.finished_at)
+        };
+        let a = run(error_level);
+        let b = run(error_level);
+        prop_assert_eq!(a.1.len(), b.1.len());
+        prop_assert_eq!(a.0, b.0);
+        prop_assert_eq!(a.2, b.2);
+        // The success/rollback decision follows the metric level.
+        if error_level < 5.0 {
+            prop_assert!(a.0, "low error level must succeed");
+        } else {
+            prop_assert!(!a.0, "high error level must roll back");
+        }
+    }
+}
