@@ -36,18 +36,40 @@ fn proxy_with(mode: RoutingMode, sticky: bool, overhead: OverheadModel) -> Bifro
 fn bench_routing_modes(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_proxy_routing");
     for (label, mode, sticky, overhead) in [
-        ("cookie", RoutingMode::CookieBased, false, OverheadModel::node_prototype()),
-        ("cookie_sticky", RoutingMode::CookieBased, true, OverheadModel::node_prototype()),
-        ("header", RoutingMode::HeaderBased, false, OverheadModel::node_prototype()),
-        ("cookie_optimized", RoutingMode::CookieBased, false, OverheadModel::optimized()),
+        (
+            "cookie",
+            RoutingMode::CookieBased,
+            false,
+            OverheadModel::node_prototype(),
+        ),
+        (
+            "cookie_sticky",
+            RoutingMode::CookieBased,
+            true,
+            OverheadModel::node_prototype(),
+        ),
+        (
+            "header",
+            RoutingMode::HeaderBased,
+            false,
+            OverheadModel::node_prototype(),
+        ),
+        (
+            "cookie_optimized",
+            RoutingMode::CookieBased,
+            false,
+            OverheadModel::optimized(),
+        ),
     ] {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             let mut proxy = proxy_with(mode, sticky, overhead);
             let mut user = 0u64;
             b.iter(|| {
                 user = user.wrapping_add(1);
-                let request = ProxyRequest::from_user(UserId::new(user % 10_000))
-                    .with_header("x-bifrost-group", if user % 2 == 0 { "A" } else { "B" });
+                let request = ProxyRequest::from_user(UserId::new(user % 10_000)).with_header(
+                    "x-bifrost-group",
+                    if user.is_multiple_of(2) { "A" } else { "B" },
+                );
                 let decision = proxy.route(&request);
                 criterion::black_box(proxy.processing_cost(&decision))
             });

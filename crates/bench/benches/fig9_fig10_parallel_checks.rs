@@ -8,9 +8,13 @@ fn bench_parallel_checks(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig9_fig10_parallel_checks");
     group.sample_size(10);
     for checks in [8usize, 160, 800, 1_600] {
-        group.bench_with_input(BenchmarkId::from_parameter(checks), &checks, |b, &checks| {
-            b.iter(|| criterion::black_box(fig9_fig10::run_point(checks)));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(checks),
+            &checks,
+            |b, &checks| {
+                b.iter(|| criterion::black_box(fig9_fig10::run_point(checks)));
+            },
+        );
     }
     group.finish();
 }

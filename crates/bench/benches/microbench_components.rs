@@ -43,8 +43,12 @@ fn bench_model_primitives(c: &mut Criterion) {
         });
     });
 
-    let split = TrafficSplit::canary(VersionId::new(0), VersionId::new(1), Percentage::new(5.0).unwrap())
-        .unwrap();
+    let split = TrafficSplit::canary(
+        VersionId::new(0),
+        VersionId::new(1),
+        Percentage::new(5.0).unwrap(),
+    )
+    .unwrap();
     c.bench_function("traffic_split_pick", |b| {
         let mut i = 0u64;
         b.iter(|| {
@@ -58,7 +62,10 @@ fn bench_metric_store(c: &mut Criterion) {
     let store = SharedMetricStore::new();
     let key = SeriesKey::new("request_errors").with_label("instance", "search:80");
     for t in 0..10_000u64 {
-        store.record(key.clone(), Sample::new(TimestampMs::from_millis(t * 100), (t % 7) as f64));
+        store.record(
+            key.clone(),
+            Sample::new(TimestampMs::from_millis(t * 100), (t % 7) as f64),
+        );
     }
     let query = RangeQuery::new("request_errors")
         .with_label("instance", "search:80")

@@ -59,11 +59,15 @@ fn main() {
             print!("{}", report::render_fig9_fig10(&points));
         }
         "help" | "--help" | "-h" => {
-            eprintln!("usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|all> [--quick] [--max N]");
+            eprintln!(
+                "usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|all> [--quick] [--max N]"
+            );
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|all> [--quick] [--max N]");
+            eprintln!(
+                "usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|all> [--quick] [--max N]"
+            );
             std::process::exit(2);
         }
     }

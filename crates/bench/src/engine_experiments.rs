@@ -116,11 +116,7 @@ pub mod fig7_fig8 {
             .collect();
         engine.run_to_completion(SimTime::from_secs(3_600));
 
-        let cpu: Vec<f64> = engine
-            .utilization_trace()
-            .iter()
-            .map(|(_, u)| *u)
-            .collect();
+        let cpu: Vec<f64> = engine.utilization_trace().iter().map(|(_, u)| *u).collect();
         let mut delays = Vec::with_capacity(handles.len());
         let mut succeeded = 0;
         for handle in handles {
@@ -184,11 +180,7 @@ pub mod fig9_fig10 {
         engine.run_to_completion(SimTime::from_secs(3_600));
 
         let report = engine.report(handle).expect("scheduled strategy");
-        let cpu: Vec<f64> = engine
-            .utilization_trace()
-            .iter()
-            .map(|(_, u)| *u)
-            .collect();
+        let cpu: Vec<f64> = engine.utilization_trace().iter().map(|(_, u)| *u).collect();
         let delay = report
             .measured_duration()
             .map(|d| d.as_secs_f64() - nominal.as_secs_f64())
@@ -233,7 +225,11 @@ mod tests {
         assert!(many.delay_secs.mean >= single.delay_secs.mean);
         assert!(many.cpu_utilization.max >= single.cpu_utilization.max);
         // A single strategy barely loads the engine.
-        assert!(single.cpu_utilization.mean < 10.0, "{}", single.cpu_utilization.mean);
+        assert!(
+            single.cpu_utilization.mean < 10.0,
+            "{}",
+            single.cpu_utilization.mean
+        );
         // Even 60 strategies complete on the single core (the paper's claim
         // that >100 are feasible; 60 keeps the test fast).
         assert!(many.delay_secs.mean < 30.0, "{}", many.delay_secs.mean);

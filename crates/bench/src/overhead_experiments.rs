@@ -86,11 +86,10 @@ pub mod table1 {
         };
         for window in &first.windows {
             for run in runs {
-                if let Some(stats) = run.recorder.summary(
-                    run.windows
-                        .iter()
-                        .find(|w| w.name == window.name),
-                ) {
+                if let Some(stats) = run
+                    .recorder
+                    .summary(run.windows.iter().find(|w| w.name == window.name))
+                {
                     rows.push(Table1Row {
                         phase: window.name.clone(),
                         variant: run.variant,
@@ -118,9 +117,8 @@ mod tests {
         assert!(!baseline.series.is_empty());
 
         // Whole-run overhead of deploying Bifrost proxies is single-digit ms.
-        let mean = |s: &Fig6Series| {
-            s.series.iter().map(|(_, v)| *v).sum::<f64>() / s.series.len() as f64
-        };
+        let mean =
+            |s: &Fig6Series| s.series.iter().map(|(_, v)| *v).sum::<f64>() / s.series.len() as f64;
         let overhead = mean(inactive) - mean(baseline);
         assert!(overhead > 2.0 && overhead < 15.0, "overhead {overhead}");
 

@@ -134,7 +134,14 @@ pub fn render_fig9_fig10(points: &[ParallelChecksPoint]) -> String {
         .collect();
     format_table(
         "Figures 9 & 10: engine CPU utilisation and enactment delay vs parallel checks",
-        &["checks", "cpu-median%", "cpu-mean%", "cpu-max%", "delay-s", "succeeded"],
+        &[
+            "checks",
+            "cpu-median%",
+            "cpu-mean%",
+            "cpu-max%",
+            "delay-s",
+            "succeeded",
+        ],
         &rows,
     )
 }

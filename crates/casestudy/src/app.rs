@@ -58,25 +58,39 @@ impl CaseStudyTopology {
     /// Builds the catalog of the case-study application.
     pub fn new() -> Self {
         let mut catalog = ServiceCatalog::new();
-        let product_service = catalog.add_service(
-            Service::new("product").with_description("product catalog and orders"),
-        );
+        let product_service = catalog
+            .add_service(Service::new("product").with_description("product catalog and orders"));
         let product_stable = catalog
-            .add_version(product_service, ServiceVersion::new("product", Endpoint::new("10.10.0.10", 8080)))
+            .add_version(
+                product_service,
+                ServiceVersion::new("product", Endpoint::new("10.10.0.10", 8080)),
+            )
             .expect("fresh catalog");
         let product_a = catalog
-            .add_version(product_service, ServiceVersion::new("product-a", Endpoint::new("10.10.0.11", 8080)))
+            .add_version(
+                product_service,
+                ServiceVersion::new("product-a", Endpoint::new("10.10.0.11", 8080)),
+            )
             .expect("fresh catalog");
         let product_b = catalog
-            .add_version(product_service, ServiceVersion::new("product-b", Endpoint::new("10.10.0.12", 8080)))
+            .add_version(
+                product_service,
+                ServiceVersion::new("product-b", Endpoint::new("10.10.0.12", 8080)),
+            )
             .expect("fresh catalog");
-        let search_service =
-            catalog.add_service(Service::new("search").with_description("text-based product search"));
+        let search_service = catalog
+            .add_service(Service::new("search").with_description("text-based product search"));
         let search_stable = catalog
-            .add_version(search_service, ServiceVersion::new("search", Endpoint::new("10.10.0.20", 8080)))
+            .add_version(
+                search_service,
+                ServiceVersion::new("search", Endpoint::new("10.10.0.20", 8080)),
+            )
             .expect("fresh catalog");
         let fast_search = catalog
-            .add_version(search_service, ServiceVersion::new("fastSearch", Endpoint::new("10.10.0.21", 8080)))
+            .add_version(
+                search_service,
+                ServiceVersion::new("fastSearch", Endpoint::new("10.10.0.21", 8080)),
+            )
             .expect("fresh catalog");
         Self {
             catalog,
@@ -128,11 +142,7 @@ pub struct CaseStudyApp {
 impl CaseStudyApp {
     /// Builds the 12-VM deployment of the end-user overhead experiment:
     /// every container on its own single-core VM.
-    pub fn deploy(
-        store: SharedMetricStore,
-        proxy_deployment: ProxyDeployment,
-        seed: u64,
-    ) -> Self {
+    pub fn deploy(store: SharedMetricStore, proxy_deployment: ProxyDeployment, seed: u64) -> Self {
         let topology = CaseStudyTopology::new();
         let mut cluster = Cluster::new(store.clone(), seed);
 
@@ -284,18 +294,27 @@ impl CaseStudyApp {
     /// service paying CPU on its container. Dark-launched shadow copies
     /// consume CPU on the shadow version, auth, and MongoDB without
     /// affecting the client-visible response.
-    pub fn handle_request(&mut self, at: SimTime, user: UserId, kind: RequestKind) -> ResponseRecord {
+    pub fn handle_request(
+        &mut self,
+        at: SimTime,
+        user: UserId,
+        kind: RequestKind,
+    ) -> ResponseRecord {
         self.requests_served += 1;
         let mut now = at;
         // Client → nginx.
         now += self.costs.client_link();
-        let nginx_receipt = self.cluster.execute(self.nginx, now, self.costs.nginx_demand());
+        let nginx_receipt = self
+            .cluster
+            .execute(self.nginx, now, self.costs.nginx_demand());
         now = nginx_receipt.completed;
 
         // nginx → product (possibly through the Bifrost proxy).
         let (product_version, shadows, proxy_cost) = self.route_product(user);
         if let Some(proxy_container) = self.product_proxy_container {
-            now += self.cluster.network_hop(self.nginx, proxy_container, kind.request_bytes());
+            now += self
+                .cluster
+                .network_hop(self.nginx, proxy_container, kind.request_bytes());
             let receipt = self.cluster.execute(proxy_container, now, proxy_cost);
             now = receipt.completed;
         }
@@ -313,27 +332,41 @@ impl CaseStudyApp {
 
         // product → auth (token validation) and back.
         now += self.cluster.network_hop(product_container, self.auth, 256);
-        let auth_receipt = self.cluster.execute(self.auth, now, self.costs.auth_demand());
+        let auth_receipt = self
+            .cluster
+            .execute(self.auth, now, self.costs.auth_demand());
         now = auth_receipt.completed;
         now += self.cluster.network_hop(self.auth, product_container, 128);
 
         // product → MongoDB and back.
-        now += self.cluster.network_hop(product_container, self.mongo, kind.request_bytes());
-        let db_receipt = self.cluster.execute(self.mongo, now, self.costs.db_demand(kind));
+        now += self
+            .cluster
+            .network_hop(product_container, self.mongo, kind.request_bytes());
+        let db_receipt = self
+            .cluster
+            .execute(self.mongo, now, self.costs.db_demand(kind));
         now = db_receipt.completed;
-        now += self.cluster.network_hop(self.mongo, product_container, kind.response_bytes() / 4);
+        now += self
+            .cluster
+            .network_hop(self.mongo, product_container, kind.response_bytes() / 4);
 
         // Search requests additionally fan out to the search service.
         if kind.touches_search() {
             let (search_version, search_shadows, search_proxy_cost) = self.route_search(user);
             if let Some(proxy_container) = self.search_proxy_container {
-                now += self.cluster.network_hop(product_container, proxy_container, 256);
-                let receipt = self.cluster.execute(proxy_container, now, search_proxy_cost);
+                now += self
+                    .cluster
+                    .network_hop(product_container, proxy_container, 256);
+                let receipt = self
+                    .cluster
+                    .execute(proxy_container, now, search_proxy_cost);
                 now = receipt.completed;
             }
             let search_container = self.version_containers[&search_version];
             let search_behavior = self.version_behaviors[&search_version];
-            now += self.cluster.network_hop(product_container, search_container, 256);
+            now += self
+                .cluster
+                .network_hop(product_container, search_container, 256);
             let search_receipt = self.cluster.execute(
                 search_container,
                 now,
@@ -342,10 +375,14 @@ impl CaseStudyApp {
             now = search_receipt.completed;
             // Search hits the database too.
             now += self.cluster.network_hop(search_container, self.mongo, 128);
-            let db = self.cluster.execute(self.mongo, now, self.costs.db_demand(RequestKind::Details));
+            let db =
+                self.cluster
+                    .execute(self.mongo, now, self.costs.db_demand(RequestKind::Details));
             now = db.completed;
             now += self.cluster.network_hop(self.mongo, search_container, 1024);
-            now += self.cluster.network_hop(search_container, product_container, 1024);
+            now += self
+                .cluster
+                .network_hop(search_container, product_container, 1024);
             // Shadow copies of the search call (dark-launched fastSearch).
             for shadow in search_shadows {
                 self.execute_shadow_search(at, shadow);
@@ -382,7 +419,9 @@ impl CaseStudyApp {
     /// and the proxy CPU cost.
     fn route_product(&mut self, user: UserId) -> (VersionId, Vec<VersionId>, Duration) {
         match (&self.proxy_deployment, &self.product_proxy) {
-            (ProxyDeployment::None, _) => (self.topology.product_stable, Vec::new(), Duration::ZERO),
+            (ProxyDeployment::None, _) => {
+                (self.topology.product_stable, Vec::new(), Duration::ZERO)
+            }
             (ProxyDeployment::Deployed, None) => (
                 self.topology.product_stable,
                 Vec::new(),
@@ -423,15 +462,21 @@ impl CaseStudyApp {
             return;
         };
         let behavior = self.version_behaviors[&target];
-        let product = self
-            .cluster
-            .execute(container, at, behavior.scale(self.costs.product_demand(kind)));
+        let product = self.cluster.execute(
+            container,
+            at,
+            behavior.scale(self.costs.product_demand(kind)),
+        );
         // The shadow also validates the token and reads the database — the
         // "three requests need to be shadowed" of the paper.
-        let auth = self.cluster.execute(self.auth, product.completed, self.costs.auth_demand());
-        self.cluster.execute(self.mongo, auth.completed, self.costs.db_demand(kind));
+        let auth = self
+            .cluster
+            .execute(self.auth, product.completed, self.costs.auth_demand());
+        self.cluster
+            .execute(self.mongo, auth.completed, self.costs.db_demand(kind));
         self.store.increment(
-            SeriesKey::new("shadow_requests_total").with_label("version", self.version_name(target)),
+            SeriesKey::new("shadow_requests_total")
+                .with_label("version", self.version_name(target)),
             at.to_timestamp(),
             1.0,
         );
@@ -443,11 +488,14 @@ impl CaseStudyApp {
             return;
         };
         let behavior = self.version_behaviors[&target];
-        let search = self
-            .cluster
-            .execute(container, at, behavior.scale(self.costs.search_demand()));
-        self.cluster
-            .execute(self.mongo, search.completed, self.costs.db_demand(RequestKind::Details));
+        let search =
+            self.cluster
+                .execute(container, at, behavior.scale(self.costs.search_demand()));
+        self.cluster.execute(
+            self.mongo,
+            search.completed,
+            self.costs.db_demand(RequestKind::Details),
+        );
     }
 
     /// Pushes the per-request application metrics that strategy checks watch.
@@ -473,8 +521,9 @@ impl CaseStudyApp {
         }
         // Business metric: buy requests convert into sold items, better
         // versions convert slightly more.
-        let converts =
-            kind == RequestKind::Buy && success && self.rng.chance(0.4 * behavior.conversion_factor);
+        let converts = kind == RequestKind::Buy
+            && success
+            && self.rng.chance(0.4 * behavior.conversion_factor);
         if converts {
             self.bump_counter("items_sold_total", &version_name, at, 1.0);
         }
@@ -543,7 +592,8 @@ mod tests {
 
         let mut engine = BifrostEngine::new(EngineConfig::default());
         engine.register_store_provider("prometheus", store);
-        let product_proxy = engine.register_proxy(topology.product_service, topology.product_stable);
+        let product_proxy =
+            engine.register_proxy(topology.product_service, topology.product_stable);
         let search_proxy = engine.register_proxy(topology.search_service, topology.search_stable);
         app.attach_proxies(Some(product_proxy.clone()), Some(search_proxy));
 
@@ -555,8 +605,9 @@ mod tests {
         )
         .unwrap();
         product_proxy.write().apply_config(
-            ProxyConfig::new(topology.product_service, topology.product_stable)
-                .with_rule(ProxyRule::split(split, false, UserSelector::All, RoutingMode::CookieBased)),
+            ProxyConfig::new(topology.product_service, topology.product_stable).with_rule(
+                ProxyRule::split(split, false, UserSelector::All, RoutingMode::CookieBased),
+            ),
         );
 
         for i in 0..400 {
@@ -575,7 +626,10 @@ mod tests {
                 SimTime::from_secs(60).to_timestamp(),
             )
             .unwrap_or(0.0);
-        assert!(a_requests > 120.0 && a_requests < 280.0, "canary got {a_requests}");
+        assert!(
+            a_requests > 120.0 && a_requests < 280.0,
+            "canary got {a_requests}"
+        );
     }
 
     #[test]
@@ -670,7 +724,11 @@ mod tests {
         let store = SharedMetricStore::new();
         let mut app = CaseStudyApp::deploy(store.clone(), ProxyDeployment::None, 11);
         for i in 0..200 {
-            app.handle_request(SimTime::from_millis(i * 30), UserId::new(i), RequestKind::Buy);
+            app.handle_request(
+                SimTime::from_millis(i * 30),
+                UserId::new(i),
+                RequestKind::Buy,
+            );
         }
         let sold = store
             .evaluate(
@@ -688,7 +746,11 @@ mod tests {
         let store = SharedMetricStore::new();
         let mut app = CaseStudyApp::deploy(store.clone(), ProxyDeployment::None, 13);
         for i in 0..50 {
-            app.handle_request(SimTime::from_millis(i * 20), UserId::new(i), RequestKind::Search);
+            app.handle_request(
+                SimTime::from_millis(i * 20),
+                UserId::new(i),
+                RequestKind::Search,
+            );
         }
         app.scrape_resources(SimTime::from_secs(2));
         let cpu = store.evaluate(

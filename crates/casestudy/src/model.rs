@@ -153,7 +153,10 @@ mod tests {
     #[test]
     fn product_demand_grows_with_response_size() {
         let costs = ServiceCosts::calibrated();
-        assert!(costs.product_demand(RequestKind::Products) > costs.product_demand(RequestKind::Details));
+        assert!(
+            costs.product_demand(RequestKind::Products)
+                > costs.product_demand(RequestKind::Details)
+        );
         assert!(costs.db_demand(RequestKind::Buy) > costs.db_demand(RequestKind::Details));
         assert!(costs.auth_demand() > Duration::ZERO);
         assert!(costs.search_demand() > costs.nginx_demand());

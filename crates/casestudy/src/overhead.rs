@@ -298,7 +298,10 @@ mod tests {
         let active_dark = active.phase_mean("Dark Launch").unwrap();
         let active_canary = active.phase_mean("Canary").unwrap();
         let active_ab = active.phase_mean("A/B Test").unwrap();
-        assert!(active_dark > active_canary, "dark {active_dark} vs canary {active_canary}");
+        assert!(
+            active_dark > active_canary,
+            "dark {active_dark} vs canary {active_canary}"
+        );
         // The A/B phase benefits from load sharing: cheaper than dark launch
         // and no more expensive than the canary phase.
         assert!(active_ab < active_dark);

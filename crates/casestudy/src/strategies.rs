@@ -63,10 +63,14 @@ fn error_check(version_name: &str, repetitions: u32, interval: Duration) -> Chec
         CheckId::new(0),
         format!("errors-{version_name}"),
         CheckSpec::single(
-            MetricQuery::new("prometheus", format!("errors_{version_name}"), "request_errors")
-                .with_label("version", version_name)
-                .with_aggregation(QueryAggregation::Rate)
-                .with_window_secs(interval.as_secs().max(1)),
+            MetricQuery::new(
+                "prometheus",
+                format!("errors_{version_name}"),
+                "request_errors",
+            )
+            .with_label("version", version_name)
+            .with_aggregation(QueryAggregation::Rate)
+            .with_window_secs(interval.as_secs().max(1)),
             Validator::LessThan(5.0),
         ),
         Timer::new(interval, repetitions).expect("static timer"),
@@ -114,9 +118,13 @@ fn sales_check(version_name: &str, duration: Duration, ids: &mut IdAllocator) ->
         ids.next_id(),
         format!("sales-{version_name}"),
         CheckSpec::single(
-            MetricQuery::new("prometheus", format!("sales_{version_name}"), "items_sold_total")
-                .with_label("version", version_name)
-                .with_aggregation(QueryAggregation::Last),
+            MetricQuery::new(
+                "prometheus",
+                format!("sales_{version_name}"),
+                "items_sold_total",
+            )
+            .with_label("version", version_name)
+            .with_aggregation(QueryAggregation::Last),
             Validator::GreaterThan(0.0),
         ),
         Timer::new(duration, 1).expect("non-zero duration"),
@@ -170,8 +178,14 @@ pub fn evaluation_strategy(
             selector: UserSelector::All,
             mode: RoutingMode::CookieBased,
         })
-        .check(with_id(error_check("product-a", canary_reps, check_interval), &mut check_ids))
-        .check(with_id(error_check("product-b", canary_reps, check_interval), &mut check_ids))
+        .check(with_id(
+            error_check("product-a", canary_reps, check_interval),
+            &mut check_ids,
+        ))
+        .check(with_id(
+            error_check("product-b", canary_reps, check_interval),
+            &mut check_ids,
+        ))
         .thresholds(Thresholds::single(1))
         .duration(durations.canary)
         .build()
@@ -320,9 +334,15 @@ pub fn trimmed_strategy(topology: &CaseStudyTopology) -> Strategy {
 
     StrategyBuilder::new("trimmed-product-replacement", topology.catalog.clone())
         .phase(
-            PhaseSpec::canary("canary", service, stable, a, Percentage::new(5.0).expect("static"))
-                .check(check.clone())
-                .duration_secs(60),
+            PhaseSpec::canary(
+                "canary",
+                service,
+                stable,
+                a,
+                Percentage::new(5.0).expect("static"),
+            )
+            .check(check.clone())
+            .duration_secs(60),
         )
         .phase(
             PhaseSpec::dark_launch("dark-launch", service, stable, a, Percentage::full())
@@ -413,11 +433,14 @@ pub fn parallel_check_strategy(topology: &CaseStudyTopology, n: usize) -> Strate
         phase2 = phase2.check(check);
     }
 
-    StrategyBuilder::new(format!("parallel-checks-{}", 8 * n), topology.catalog.clone())
-        .phase(phase1)
-        .phase(phase2)
-        .build()
-        .expect("static strategy")
+    StrategyBuilder::new(
+        format!("parallel-checks-{}", 8 * n),
+        topology.catalog.clone(),
+    )
+    .phase(phase1)
+    .phase(phase2)
+    .build()
+    .expect("static strategy")
 }
 
 /// The running example of the paper (Sections 2–3): the fastSearch
@@ -440,8 +463,11 @@ pub fn fastsearch_strategy(topology: &CaseStudyTopology) -> Strategy {
             Validator::LessThan(150.0),
         ),
         Timer::new(Duration::from_secs(600), 100).expect("static timer"),
-        OutcomeMapping::new(Thresholds::new(vec![75, 95]).expect("static"), vec![-5, 4, 5])
-            .expect("static mapping"),
+        OutcomeMapping::new(
+            Thresholds::new(vec![75, 95]).expect("static"),
+            vec![-5, 4, 5],
+        )
+        .expect("static mapping"),
     );
     let sales_check = PhaseCheck::basic(
         "items-sold",
@@ -457,10 +483,16 @@ pub fn fastsearch_strategy(topology: &CaseStudyTopology) -> Strategy {
 
     StrategyBuilder::new("fastsearch-rollout", topology.catalog.clone())
         .phase(
-            PhaseSpec::canary("canary-1pct", service, stable, fast, Percentage::new(1.0).expect("static"))
-                .check(response_time_check.clone())
-                .selector(UserSelector::attribute("country", "US"))
-                .duration(day),
+            PhaseSpec::canary(
+                "canary-1pct",
+                service,
+                stable,
+                fast,
+                Percentage::new(1.0).expect("static"),
+            )
+            .check(response_time_check.clone())
+            .selector(UserSelector::attribute("country", "US"))
+            .duration(day),
         )
         .phase(PhaseSpec::gradual_rollout(
             "ramp-to-50",
@@ -506,7 +538,10 @@ mod tests {
         // Nominal duration: 60 + 60 + 60 + 20*10 = 380 s.
         assert_eq!(strategy.nominal_duration(), Duration::from_secs(380));
         // The canary state splits across three versions.
-        let canary = strategy.automaton().state(strategy.automaton().start()).unwrap();
+        let canary = strategy
+            .automaton()
+            .state(strategy.automaton().start())
+            .unwrap();
         match canary.routing().first().unwrap() {
             RoutingRule::Split { split, .. } => assert_eq!(split.shares().len(), 3),
             other => panic!("expected split, got {other:?}"),
@@ -536,7 +571,10 @@ mod tests {
             rollout_step: Duration::from_secs(5),
         };
         let strategy = evaluation_strategy(&topology, durations);
-        assert_eq!(strategy.nominal_duration(), Duration::from_secs(30 + 30 + 30 + 100));
+        assert_eq!(
+            strategy.nominal_duration(),
+            Duration::from_secs(30 + 30 + 30 + 100)
+        );
     }
 
     #[test]
@@ -555,7 +593,10 @@ mod tests {
         let topology = CaseStudyTopology::new();
         for n in [1usize, 3, 10] {
             let strategy = parallel_check_strategy(&topology, n);
-            let start = strategy.automaton().state(strategy.automaton().start()).unwrap();
+            let start = strategy
+                .automaton()
+                .state(strategy.automaton().start())
+                .unwrap();
             assert_eq!(start.checks().len(), 8 * n);
             // Two phases plus success/rollback.
             assert_eq!(strategy.automaton().state_count(), 4);
@@ -575,7 +616,10 @@ mod tests {
         let days = strategy.nominal_duration().as_secs_f64() / 86_400.0;
         assert!((days - 12.0).abs() < 0.1, "days {days}");
         // The canary restricts itself to US users.
-        let canary = strategy.automaton().state(strategy.automaton().start()).unwrap();
+        let canary = strategy
+            .automaton()
+            .state(strategy.automaton().start())
+            .unwrap();
         match canary.routing().first().unwrap() {
             RoutingRule::Split { selector, .. } => {
                 assert_eq!(selector, &UserSelector::attribute("country", "US"));

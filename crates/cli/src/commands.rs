@@ -321,7 +321,14 @@ mod tests {
             }
         );
         assert_eq!(
-            Command::parse(&strings(&["run", "s.yml", "--verbose", "--deadline", "600"])).unwrap(),
+            Command::parse(&strings(&[
+                "run",
+                "s.yml",
+                "--verbose",
+                "--deadline",
+                "600"
+            ]))
+            .unwrap(),
             Command::Run {
                 path: "s.yml".into(),
                 verbose: true,

@@ -35,7 +35,7 @@ impl Dashboard {
         let reports = engine.reports();
         let _ = writeln!(out, "strategies: {}", reports.len());
         for report in &reports {
-            let _ = writeln!(out, "  {}", self.render_report(&report));
+            let _ = writeln!(out, "  {}", self.render_report(report));
         }
         let _ = writeln!(out, "events: {}", engine.events().len());
         for event in self.interesting_events(engine) {
@@ -94,15 +94,27 @@ mod tests {
         let mut catalog = ServiceCatalog::new();
         let search = catalog.add_service(Service::new("search"));
         let stable = catalog
-            .add_version(search, ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)))
+            .add_version(
+                search,
+                ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)),
+            )
             .unwrap();
         let fast = catalog
-            .add_version(search, ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)))
+            .add_version(
+                search,
+                ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)),
+            )
             .unwrap();
         let strategy = StrategyBuilder::new("dash-test", catalog)
             .phase(
-                PhaseSpec::canary("canary", search, stable, fast, Percentage::new(5.0).unwrap())
-                    .duration_secs(30),
+                PhaseSpec::canary(
+                    "canary",
+                    search,
+                    stable,
+                    fast,
+                    Percentage::new(5.0).unwrap(),
+                )
+                .duration_secs(30),
             )
             .build()
             .unwrap();

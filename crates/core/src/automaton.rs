@@ -355,7 +355,11 @@ impl AutomatonBuilder {
         }
         for state in self.states.values() {
             let is_final = self.finals.contains(&state.id());
-            match (is_final, state.thresholds(), self.transitions.get(&state.id())) {
+            match (
+                is_final,
+                state.thresholds(),
+                self.transitions.get(&state.id()),
+            ) {
                 (true, _, _) => {}
                 (false, None, _) => {
                     return Err(ModelError::InvalidAutomaton(format!(
@@ -427,7 +431,11 @@ impl AutomatonBuilder {
 /// `targets - 1` consecutive integer thresholds starting at `first`. Helper
 /// for tests and simple strategies.
 pub fn consecutive_thresholds(first: i64, targets: usize) -> Result<Thresholds, ModelError> {
-    Thresholds::new((0..targets.saturating_sub(1)).map(|i| first + i as i64).collect())
+    Thresholds::new(
+        (0..targets.saturating_sub(1))
+            .map(|i| first + i as i64)
+            .collect(),
+    )
 }
 
 #[cfg(test)]

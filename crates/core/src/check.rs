@@ -51,7 +51,10 @@ impl Validator {
             Validator::LessOrEqual(bound) => value <= bound,
             Validator::GreaterThan(bound) => value > bound,
             Validator::GreaterOrEqual(bound) => value >= bound,
-            Validator::Equals { value: expected, tolerance } => (value - expected).abs() <= tolerance,
+            Validator::Equals {
+                value: expected,
+                tolerance,
+            } => (value - expected).abs() <= tolerance,
             Validator::Between(lo, hi) => value >= lo && value <= hi,
         }
     }
@@ -427,8 +430,16 @@ mod tests {
         assert!(Validator::LessOrEqual(5.0).evaluate(5.0));
         assert!(Validator::GreaterThan(5.0).evaluate(5.1));
         assert!(Validator::GreaterOrEqual(5.0).evaluate(5.0));
-        assert!(Validator::Equals { value: 3.0, tolerance: 0.01 }.evaluate(3.005));
-        assert!(!Validator::Equals { value: 3.0, tolerance: 0.01 }.evaluate(3.5));
+        assert!(Validator::Equals {
+            value: 3.0,
+            tolerance: 0.01
+        }
+        .evaluate(3.005));
+        assert!(!Validator::Equals {
+            value: 3.0,
+            tolerance: 0.01
+        }
+        .evaluate(3.5));
         assert!(Validator::Between(1.0, 2.0).evaluate(1.5));
         assert!(!Validator::Between(1.0, 2.0).evaluate(2.5));
     }
@@ -436,12 +447,30 @@ mod tests {
     #[test]
     fn validator_parse_dsl_syntax() {
         assert_eq!(Validator::parse("<5").unwrap(), Validator::LessThan(5.0));
-        assert_eq!(Validator::parse("< 150").unwrap(), Validator::LessThan(150.0));
-        assert_eq!(Validator::parse(">=3").unwrap(), Validator::GreaterOrEqual(3.0));
-        assert_eq!(Validator::parse("<= 0.5").unwrap(), Validator::LessOrEqual(0.5));
-        assert_eq!(Validator::parse("> 10").unwrap(), Validator::GreaterThan(10.0));
-        assert!(matches!(Validator::parse("=0").unwrap(), Validator::Equals { .. }));
-        assert!(matches!(Validator::parse("== 7").unwrap(), Validator::Equals { .. }));
+        assert_eq!(
+            Validator::parse("< 150").unwrap(),
+            Validator::LessThan(150.0)
+        );
+        assert_eq!(
+            Validator::parse(">=3").unwrap(),
+            Validator::GreaterOrEqual(3.0)
+        );
+        assert_eq!(
+            Validator::parse("<= 0.5").unwrap(),
+            Validator::LessOrEqual(0.5)
+        );
+        assert_eq!(
+            Validator::parse("> 10").unwrap(),
+            Validator::GreaterThan(10.0)
+        );
+        assert!(matches!(
+            Validator::parse("=0").unwrap(),
+            Validator::Equals { .. }
+        ));
+        assert!(matches!(
+            Validator::parse("== 7").unwrap(),
+            Validator::Equals { .. }
+        ));
         assert!(Validator::parse("~5").is_err());
         assert!(Validator::parse("<abc").is_err());
     }

@@ -79,7 +79,10 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let err = ModelError::InvalidPercentage(140.0);
-        assert_eq!(err.to_string(), "percentage 140 is outside the range 0..=100");
+        assert_eq!(
+            err.to_string(),
+            "percentage 140 is outside the range 0..=100"
+        );
 
         let err = ModelError::UnknownService(ServiceId::new(4));
         assert_eq!(err.to_string(), "unknown service svc-4");

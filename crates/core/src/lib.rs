@@ -78,7 +78,9 @@ pub use user::{User, UserAttribute, UserPopulation, UserSelector};
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
     pub use crate::automaton::{Automaton, AutomatonBuilder, Transition};
-    pub use crate::check::{BasicCheck, Check, CheckKind, CheckSpec, ExceptionCheck, MetricQuery, Validator};
+    pub use crate::check::{
+        BasicCheck, Check, CheckKind, CheckSpec, ExceptionCheck, MetricQuery, Validator,
+    };
     pub use crate::error::ModelError;
     pub use crate::ids::{CheckId, ServiceId, StateId, StrategyId, UserId, VersionId};
     pub use crate::outcome::{CheckOutcome, OutcomeMapping, StateOutcome, Weight};

@@ -314,9 +314,30 @@ mod tests {
             OutcomeMapping::new(Thresholds::new(vec![75, 95]).unwrap(), vec![-5, 4, 5]).unwrap();
         let ranges = mapping.ranges();
         assert_eq!(ranges.len(), 3);
-        assert_eq!(ranges[0], OutcomeRange { lower: None, upper: Some(75), result: -5 });
-        assert_eq!(ranges[1], OutcomeRange { lower: Some(75), upper: Some(95), result: 4 });
-        assert_eq!(ranges[2], OutcomeRange { lower: Some(95), upper: None, result: 5 });
+        assert_eq!(
+            ranges[0],
+            OutcomeRange {
+                lower: None,
+                upper: Some(75),
+                result: -5
+            }
+        );
+        assert_eq!(
+            ranges[1],
+            OutcomeRange {
+                lower: Some(75),
+                upper: Some(95),
+                result: 4
+            }
+        );
+        assert_eq!(
+            ranges[2],
+            OutcomeRange {
+                lower: Some(95),
+                upper: None,
+                result: 5
+            }
+        );
     }
 
     #[test]

@@ -33,7 +33,12 @@ pub struct PhaseCheck {
 
 impl PhaseCheck {
     /// A basic check with the default weight.
-    pub fn basic(name: impl Into<String>, spec: CheckSpec, timer: Timer, mapping: OutcomeMapping) -> Self {
+    pub fn basic(
+        name: impl Into<String>,
+        spec: CheckSpec,
+        timer: Timer,
+        mapping: OutcomeMapping,
+    ) -> Self {
         Self {
             name: name.into(),
             spec,
@@ -67,7 +72,13 @@ impl PhaseCheck {
         rollback: crate::ids::StateId,
     ) -> Check {
         match &self.mapping {
-            Some(mapping) => Check::basic(id, &self.name, self.spec.clone(), self.timer, mapping.clone()),
+            Some(mapping) => Check::basic(
+                id,
+                &self.name,
+                self.spec.clone(),
+                self.timer,
+                mapping.clone(),
+            ),
             None => Check::exception(id, &self.name, self.spec.clone(), self.timer, rollback),
         }
     }
@@ -366,7 +377,9 @@ mod tests {
     fn ab_test_is_sticky_by_default() {
         let (svc, v1, v2) = ids();
         assert!(PhaseSpec::ab_test("ab", svc, v1, v2).is_sticky());
-        assert!(!PhaseSpec::ab_test("ab", svc, v1, v2).sticky(false).is_sticky());
+        assert!(!PhaseSpec::ab_test("ab", svc, v1, v2)
+            .sticky(false)
+            .is_sticky());
     }
 
     #[test]

@@ -220,7 +220,11 @@ impl ServiceCatalog {
     }
 
     /// Looks up a version of a given service by name.
-    pub fn version_by_name(&self, service: ServiceId, name: &str) -> Option<(VersionId, &ServiceVersion)> {
+    pub fn version_by_name(
+        &self,
+        service: ServiceId,
+        name: &str,
+    ) -> Option<(VersionId, &ServiceVersion)> {
         let entry = self.services.get(&service)?;
         entry.versions.iter().find_map(|vid| {
             let (_, version) = self.versions.get(vid)?;
@@ -299,7 +303,10 @@ mod tests {
         let mut catalog = ServiceCatalog::new();
         let search = catalog.add_service(Service::new("search").with_description("product search"));
         let stable = catalog
-            .add_version(search, ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 8080)))
+            .add_version(
+                search,
+                ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 8080)),
+            )
             .unwrap();
         let canary = catalog
             .add_version(
@@ -313,7 +320,10 @@ mod tests {
 
     #[test]
     fn endpoint_display() {
-        assert_eq!(Endpoint::new("search.internal", 80).to_string(), "search.internal:80");
+        assert_eq!(
+            Endpoint::new("search.internal", 80).to_string(),
+            "search.internal:80"
+        );
     }
 
     #[test]
@@ -341,7 +351,10 @@ mod tests {
     fn duplicate_version_name_is_rejected() {
         let (mut catalog, search, _, _) = catalog_with_search();
         let err = catalog
-            .add_version(search, ServiceVersion::new("v1", Endpoint::new("10.0.0.9", 80)))
+            .add_version(
+                search,
+                ServiceVersion::new("v1", Endpoint::new("10.0.0.9", 80)),
+            )
             .unwrap_err();
         assert!(matches!(err, ModelError::Duplicate(_)));
     }
@@ -363,7 +376,10 @@ mod tests {
         let (mut catalog, search, stable, _) = catalog_with_search();
         let product = catalog.add_service(Service::new("product"));
         let product_v1 = catalog
-            .add_version(product, ServiceVersion::new("v1", Endpoint::new("10.0.1.1", 80)))
+            .add_version(
+                product,
+                ServiceVersion::new("v1", Endpoint::new("10.0.1.1", 80)),
+            )
             .unwrap();
 
         assert!(catalog.ensure_version_of(search, stable).is_ok());

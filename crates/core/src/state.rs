@@ -261,7 +261,9 @@ mod tests {
 
     #[test]
     fn state_without_checks_needs_duration() {
-        assert!(State::builder(StateId::new(0), "rollout-step").build().is_err());
+        assert!(State::builder(StateId::new(0), "rollout-step")
+            .build()
+            .is_err());
         let state = State::builder(StateId::new(0), "rollout-step")
             .duration(Duration::from_secs(10))
             .routing(sample_routing())

@@ -157,10 +157,7 @@ impl Strategy {
                     self.services
                         .ensure_version_of(service, version)
                         .map_err(|e| {
-                            ModelError::InvalidStrategy(format!(
-                                "state '{}': {e}",
-                                state.name()
-                            ))
+                            ModelError::InvalidStrategy(format!("state '{}': {e}", state.name()))
                         })?;
                 }
             }
@@ -245,9 +242,11 @@ impl StrategyBuilder {
                 )));
             }
             for version in phase.versions() {
-                self.services.ensure_version_of(service, version).map_err(|e| {
-                    ModelError::InvalidStrategy(format!("phase '{}': {e}", phase.name()))
-                })?;
+                self.services
+                    .ensure_version_of(service, version)
+                    .map_err(|e| {
+                        ModelError::InvalidStrategy(format!("phase '{}': {e}", phase.name()))
+                    })?;
             }
         }
 
@@ -288,10 +287,7 @@ impl StrategyBuilder {
                     let shares = gradual_steps(*from, *to, *step);
                     for (step_index, share) in shares.iter().enumerate() {
                         let state_id = ids[step_index];
-                        let next = ids
-                            .get(step_index + 1)
-                            .copied()
-                            .unwrap_or(next_phase_entry);
+                        let next = ids.get(step_index + 1).copied().unwrap_or(next_phase_entry);
                         let split = TrafficSplit::canary(*stable, *canary, *share)?;
                         let rule = RoutingRule::Split {
                             service: *service,
@@ -425,7 +421,9 @@ impl StrategyBuilder {
             builder = builder.routing(rule);
         }
         let has_basic_checks = phase.checks().iter().any(|c| c.mapping.is_some());
-        let pass_check = |check_ids: &mut IdAllocator, duration: Duration| -> Result<crate::check::Check, ModelError> {
+        let pass_check = |check_ids: &mut IdAllocator,
+                          duration: Duration|
+         -> Result<crate::check::Check, ModelError> {
             Ok(crate::check::Check::basic(
                 check_ids.next_id(),
                 format!("{name}-pass"),
@@ -436,7 +434,9 @@ impl StrategyBuilder {
         };
         if phase.checks().is_empty() {
             // No checks: the state passes automatically after its duration.
-            let duration = duration.or(phase.explicit_duration()).unwrap_or(Duration::from_secs(60));
+            let duration = duration
+                .or(phase.explicit_duration())
+                .unwrap_or(Duration::from_secs(60));
             builder = builder
                 .check(pass_check(check_ids, duration)?)
                 .thresholds(Thresholds::single(0))
@@ -498,10 +498,16 @@ mod tests {
         let mut catalog = ServiceCatalog::new();
         let search = catalog.add_service(Service::new("search"));
         let stable = catalog
-            .add_version(search, ServiceVersion::new("search-v1", Endpoint::new("10.0.0.1", 80)))
+            .add_version(
+                search,
+                ServiceVersion::new("search-v1", Endpoint::new("10.0.0.1", 80)),
+            )
             .unwrap();
         let fast = catalog
-            .add_version(search, ServiceVersion::new("fastsearch", Endpoint::new("10.0.0.2", 80)))
+            .add_version(
+                search,
+                ServiceVersion::new("fastsearch", Endpoint::new("10.0.0.2", 80)),
+            )
             .unwrap();
         (catalog, search, stable, fast)
     }
@@ -523,8 +529,14 @@ mod tests {
         let (catalog, search, stable, fast) = catalog();
         let strategy = StrategyBuilder::new("canary-only", catalog)
             .phase(
-                PhaseSpec::canary("canary-5", search, stable, fast, Percentage::new(5.0).unwrap())
-                    .check(error_check()),
+                PhaseSpec::canary(
+                    "canary-5",
+                    search,
+                    stable,
+                    fast,
+                    Percentage::new(5.0).unwrap(),
+                )
+                .check(error_check()),
             )
             .build()
             .unwrap();
@@ -542,15 +554,25 @@ mod tests {
         let (catalog, search, stable, fast) = catalog();
         let strategy = StrategyBuilder::new("full", catalog)
             .phase(
-                PhaseSpec::canary("canary", search, stable, fast, Percentage::new(5.0).unwrap())
-                    .check(error_check())
-                    .duration_secs(60),
+                PhaseSpec::canary(
+                    "canary",
+                    search,
+                    stable,
+                    fast,
+                    Percentage::new(5.0).unwrap(),
+                )
+                .check(error_check())
+                .duration_secs(60),
             )
             .phase(
                 PhaseSpec::dark_launch("dark", search, stable, fast, Percentage::full())
                     .duration_secs(60),
             )
-            .phase(PhaseSpec::ab_test("ab", search, stable, fast).check(error_check()).duration_secs(60))
+            .phase(
+                PhaseSpec::ab_test("ab", search, stable, fast)
+                    .check(error_check())
+                    .duration_secs(60),
+            )
             .phase(PhaseSpec::gradual_rollout(
                 "rollout",
                 search,
@@ -566,10 +588,13 @@ mod tests {
         // 1 + 1 + 1 + 20 phase states + success + rollback
         assert_eq!(strategy.automaton().state_count(), 25);
         // Start state is the canary state.
-        let start = strategy.automaton().state(strategy.automaton().start()).unwrap();
+        let start = strategy
+            .automaton()
+            .state(strategy.automaton().start())
+            .unwrap();
         assert_eq!(start.name(), "canary");
         // Every non-final state can reach rollback (first transition target).
-        for (id, _state) in strategy.automaton().states() {
+        for id in strategy.automaton().states().keys() {
             if !strategy.automaton().is_final(*id) {
                 let table = strategy.automaton().transitions_of(*id).unwrap();
                 assert_eq!(table.target(0), Some(strategy.rollback_state()));
@@ -591,7 +616,10 @@ mod tests {
         let (mut catalog, search, stable, _) = catalog();
         let product = catalog.add_service(Service::new("product"));
         let product_v = catalog
-            .add_version(product, ServiceVersion::new("v1", Endpoint::new("10.0.1.1", 80)))
+            .add_version(
+                product,
+                ServiceVersion::new("v1", Endpoint::new("10.0.1.1", 80)),
+            )
             .unwrap();
         let err = StrategyBuilder::new("broken", catalog)
             .phase(PhaseSpec::canary(
@@ -611,8 +639,14 @@ mod tests {
         let (catalog, search, stable, fast) = catalog();
         let strategy = StrategyBuilder::new("timed", catalog)
             .phase(
-                PhaseSpec::canary("canary", search, stable, fast, Percentage::new(5.0).unwrap())
-                    .duration_secs(60),
+                PhaseSpec::canary(
+                    "canary",
+                    search,
+                    stable,
+                    fast,
+                    Percentage::new(5.0).unwrap(),
+                )
+                .duration_secs(60),
             )
             .phase(
                 PhaseSpec::dark_launch("dark", search, stable, fast, Percentage::full())
@@ -670,7 +704,10 @@ mod tests {
             ))
             .build()
             .unwrap();
-        let start = strategy.automaton().state(strategy.automaton().start()).unwrap();
+        let start = strategy
+            .automaton()
+            .state(strategy.automaton().start())
+            .unwrap();
         match start.routing().first().unwrap() {
             RoutingRule::Split { mode, .. } => assert_eq!(*mode, RoutingMode::HeaderBased),
             _ => panic!("expected split rule"),

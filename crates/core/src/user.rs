@@ -283,7 +283,11 @@ mod tests {
         let large = UserSelector::percentage(Percentage::new(20.0).unwrap());
         for user in pop.users() {
             if small.selects(user) {
-                assert!(large.selects(user), "user {} lost during rollout", user.id());
+                assert!(
+                    large.selects(user),
+                    "user {} lost during rollout",
+                    user.id()
+                );
             }
         }
     }

@@ -1,7 +1,7 @@
 //! Property-based tests for the invariants of the formal model.
 
-use bifrost_core::prelude::*;
 use bifrost_core::ids::UserId;
+use bifrost_core::prelude::*;
 use proptest::prelude::*;
 use proptest::strategy::Strategy as _;
 use std::time::Duration;
@@ -184,10 +184,16 @@ fn simple_catalog() -> (ServiceCatalog, ServiceId, VersionId, VersionId) {
     let mut catalog = ServiceCatalog::new();
     let search = catalog.add_service(Service::new("search"));
     let stable = catalog
-        .add_version(search, ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)))
+        .add_version(
+            search,
+            ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)),
+        )
         .unwrap();
     let fast = catalog
-        .add_version(search, ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)))
+        .add_version(
+            search,
+            ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)),
+        )
         .unwrap();
     (catalog, search, stable, fast)
 }

@@ -200,9 +200,7 @@ fn parse_deployment(yaml: &YamlValue) -> Result<DeploymentDoc, DslError> {
     let mut services = Vec::with_capacity(services_yaml.len());
     for service in services_yaml {
         let name = require_str(service, "service", "deployment service")?;
-        let proxy = service
-            .get("proxy")
-            .and_then(YamlValue::scalar_to_string);
+        let proxy = service.get("proxy").and_then(YamlValue::scalar_to_string);
         let versions_yaml = service
             .get("versions")
             .and_then(YamlValue::as_seq)
@@ -240,8 +238,9 @@ fn parse_deployment(yaml: &YamlValue) -> Result<DeploymentDoc, DslError> {
 
 fn parse_phase(yaml: &YamlValue) -> Result<PhaseDoc, DslError> {
     let type_text = require_str(yaml, "phase", "phase")?;
-    let phase_type = PhaseType::parse(&type_text)
-        .ok_or_else(|| DslError::invalid("phase", "phase", format!("unknown type '{type_text}'")))?;
+    let phase_type = PhaseType::parse(&type_text).ok_or_else(|| {
+        DslError::invalid("phase", "phase", format!("unknown type '{type_text}'"))
+    })?;
     let name = yaml
         .get("name")
         .and_then(YamlValue::scalar_to_string)
@@ -255,11 +254,14 @@ fn parse_phase(yaml: &YamlValue) -> Result<PhaseDoc, DslError> {
         PhaseType::Canary | PhaseType::GradualRollout => {
             (&["stable", "from"], &["candidate", "canary", "to"])
         }
-        PhaseType::DarkLaunch => (&["from", "stable", "source"], &["to", "shadow", "candidate"]),
+        PhaseType::DarkLaunch => (
+            &["from", "stable", "source"],
+            &["to", "shadow", "candidate"],
+        ),
         PhaseType::AbTest => (&["a", "stable"], &["b", "candidate"]),
     };
-    let stable = first_str(yaml, stable_keys)
-        .ok_or_else(|| DslError::missing(&context, stable_keys[0]))?;
+    let stable =
+        first_str(yaml, stable_keys).ok_or_else(|| DslError::missing(&context, stable_keys[0]))?;
     let candidate = first_str(yaml, candidate_keys)
         .ok_or_else(|| DslError::missing(&context, candidate_keys[0]))?;
 
@@ -326,8 +328,13 @@ fn parse_check(yaml: &YamlValue, phase_context: &str) -> Result<CheckDoc, DslErr
                     provider: provider_name.clone(),
                     name: metric_name,
                     query,
-                    aggregation: details.get("aggregation").and_then(YamlValue::scalar_to_string),
-                    window: details.get("window").and_then(YamlValue::as_i64).map(|v| v.max(0) as u64),
+                    aggregation: details
+                        .get("aggregation")
+                        .and_then(YamlValue::scalar_to_string),
+                    window: details
+                        .get("window")
+                        .and_then(YamlValue::as_i64)
+                        .map(|v| v.max(0) as u64),
                 });
             }
         }
@@ -339,8 +346,13 @@ fn parse_check(yaml: &YamlValue, phase_context: &str) -> Result<CheckDoc, DslErr
                 .unwrap_or_else(|| "prometheus".to_string()),
             name: name.clone(),
             query,
-            aggregation: body.get("aggregation").and_then(YamlValue::scalar_to_string),
-            window: body.get("window").and_then(YamlValue::as_i64).map(|v| v.max(0) as u64),
+            aggregation: body
+                .get("aggregation")
+                .and_then(YamlValue::scalar_to_string),
+            window: body
+                .get("window")
+                .and_then(YamlValue::as_i64)
+                .map(|v| v.max(0) as u64),
         });
     }
     if metrics.is_empty() {
@@ -364,7 +376,10 @@ fn parse_check(yaml: &YamlValue, phase_context: &str) -> Result<CheckDoc, DslErr
         threshold: body.get("threshold").and_then(YamlValue::as_i64),
         validator,
         weight: body.get("weight").and_then(YamlValue::as_f64),
-        exception: body.get("exception").and_then(YamlValue::as_bool).unwrap_or(false),
+        exception: body
+            .get("exception")
+            .and_then(YamlValue::as_bool)
+            .unwrap_or(false),
     })
 }
 
@@ -511,8 +526,9 @@ strategy:
 
     #[test]
     fn missing_name_is_rejected() {
-        let err = StrategyDocument::from_yaml(&yaml::parse("deployment:\n  services: []\n").unwrap())
-            .unwrap_err();
+        let err =
+            StrategyDocument::from_yaml(&yaml::parse("deployment:\n  services: []\n").unwrap())
+                .unwrap_err();
         assert!(matches!(err, DslError::MissingField { .. }));
     }
 

@@ -53,12 +53,13 @@ pub fn compile(document: &StrategyDocument) -> Result<Strategy, DslError> {
             .or_insert_with(|| catalog.add_service(Service::new(&phase.service)));
         for version_name in [&phase.stable, &phase.candidate] {
             let key = (phase.service.clone(), version_name.clone());
-            if !version_ids.contains_key(&key) {
-                let endpoint = Endpoint::new(format!("{}.internal", version_name), next_synthetic_port);
+            if let std::collections::btree_map::Entry::Vacant(e) = version_ids.entry(key) {
+                let endpoint =
+                    Endpoint::new(format!("{}.internal", version_name), next_synthetic_port);
                 next_synthetic_port = next_synthetic_port.wrapping_add(1).max(9000);
-                let vid = catalog
-                    .add_version(service_id, ServiceVersion::new(version_name, endpoint))?;
-                version_ids.insert(key, vid);
+                let vid =
+                    catalog.add_version(service_id, ServiceVersion::new(version_name, endpoint))?;
+                e.insert(vid);
             }
         }
     }
@@ -68,7 +69,10 @@ pub fn compile(document: &StrategyDocument) -> Result<Strategy, DslError> {
     let mut header_routing = false;
     for phase_doc in &document.phases {
         let phase = compile_phase(phase_doc, &service_ids, &version_ids)?;
-        if matches!(phase_doc.routing.as_deref(), Some("header") | Some("header-based")) {
+        if matches!(
+            phase_doc.routing.as_deref(),
+            Some("header") | Some("header-based")
+        ) {
             header_routing = true;
         }
         builder = builder.phase(phase);
@@ -96,8 +100,7 @@ fn compile_phase(
     let context = format!("phase '{}'", doc.name);
 
     let percentage = |value: f64, field: &str| {
-        Percentage::new(value)
-            .map_err(|e| DslError::invalid(&context, field, e.to_string()))
+        Percentage::new(value).map_err(|e| DslError::invalid(&context, field, e.to_string()))
     };
 
     let mut phase = match doc.phase_type {
@@ -115,7 +118,16 @@ fn compile_phase(
             let to = percentage(doc.to_traffic.unwrap_or(100.0), "to_traffic")?;
             let step = percentage(doc.step.unwrap_or(5.0), "step")?;
             let step_duration = Duration::from_secs(doc.step_duration_secs.unwrap_or(60));
-            PhaseSpec::gradual_rollout(&doc.name, service, stable, candidate, from, to, step, step_duration)
+            PhaseSpec::gradual_rollout(
+                &doc.name,
+                service,
+                stable,
+                candidate,
+                from,
+                to,
+                step,
+                step_duration,
+            )
         }
     };
 
@@ -187,7 +199,8 @@ fn compile_check(doc: &CheckDoc, phase_context: &str) -> Result<PhaseCheck, DslE
     };
     if let Some(weight) = doc.weight {
         check = check.with_weight(
-            Weight::new(weight).map_err(|e| DslError::invalid(&context, "weight", e.to_string()))?,
+            Weight::new(weight)
+                .map_err(|e| DslError::invalid(&context, "weight", e.to_string()))?,
         );
     }
     Ok(check)
@@ -216,7 +229,10 @@ fn bifrost_metrics_selector(selector: &str) -> Result<(String, Vec<(String, Stri
         let (key, value) = pair
             .split_once('=')
             .ok_or_else(|| format!("label pair '{pair}' is missing '='"))?;
-        labels.push((key.trim().to_string(), value.trim().trim_matches('"').to_string()));
+        labels.push((
+            key.trim().to_string(),
+            value.trim().trim_matches('"').to_string(),
+        ));
     }
     Ok((name.to_string(), labels))
 }
@@ -313,9 +329,14 @@ strategy:
         strategy.validate().unwrap();
 
         // The canary state restricts itself to US users.
-        let start = strategy.automaton().state(strategy.automaton().start()).unwrap();
+        let start = strategy
+            .automaton()
+            .state(strategy.automaton().start())
+            .unwrap();
         match start.routing().first().unwrap() {
-            RoutingRule::Split { selector, split, .. } => {
+            RoutingRule::Split {
+                selector, split, ..
+            } => {
                 assert_eq!(selector, &UserSelector::attribute("country", "US"));
                 let shares: Vec<f64> = split.shares().iter().map(|(_, p)| p.value()).collect();
                 assert_eq!(shares, vec![99.0, 1.0]);
@@ -327,7 +348,10 @@ strategy:
         assert_eq!(check.timer().repetitions(), 100);
         assert_eq!(check.spec().queries().len(), 1);
         assert_eq!(check.spec().queries()[0].0.metric(), "response_time_ms");
-        assert_eq!(check.spec().queries()[0].0.labels()["instance"], "search:80");
+        assert_eq!(
+            check.spec().queries()[0].0.labels()["instance"],
+            "search:80"
+        );
     }
 
     #[test]
@@ -364,7 +388,10 @@ strategy:
       routing: header
 "#;
         let strategy = parse_strategy(source).unwrap();
-        let start = strategy.automaton().state(strategy.automaton().start()).unwrap();
+        let start = strategy
+            .automaton()
+            .state(strategy.automaton().start())
+            .unwrap();
         match start.routing().first().unwrap() {
             RoutingRule::Split { mode, sticky, .. } => {
                 assert_eq!(*mode, RoutingMode::HeaderBased);
@@ -395,7 +422,10 @@ strategy:
           exception: true
 "#;
         let strategy = parse_strategy(source).unwrap();
-        let start = strategy.automaton().state(strategy.automaton().start()).unwrap();
+        let start = strategy
+            .automaton()
+            .state(strategy.automaton().start())
+            .unwrap();
         let check = &start.checks()[0];
         assert!(check.is_exception());
         assert_eq!(check.fallback(), Some(strategy.rollback_state()));
@@ -454,7 +484,10 @@ strategy:
       duration: 60
 "#;
         let strategy = parse_strategy(source).unwrap();
-        let start = strategy.automaton().state(strategy.automaton().start()).unwrap();
+        let start = strategy
+            .automaton()
+            .state(strategy.automaton().start())
+            .unwrap();
         assert!(start.routing()[0].is_shadow());
     }
 
@@ -475,7 +508,10 @@ strategy:
         country: US
 "#;
         let strategy = parse_strategy(source).unwrap();
-        let start = strategy.automaton().state(strategy.automaton().start()).unwrap();
+        let start = strategy
+            .automaton()
+            .state(strategy.automaton().start())
+            .unwrap();
         match start.routing().first().unwrap() {
             RoutingRule::Split { selector, .. } => match selector {
                 UserSelector::And(parts) => assert_eq!(parts.len(), 2),
@@ -487,9 +523,13 @@ strategy:
 
     #[test]
     fn selector_helper_parses_queries() {
-        let (name, labels) = bifrost_metrics_selector("request_errors{instance=\"search:80\"}").unwrap();
+        let (name, labels) =
+            bifrost_metrics_selector("request_errors{instance=\"search:80\"}").unwrap();
         assert_eq!(name, "request_errors");
-        assert_eq!(labels, vec![("instance".to_string(), "search:80".to_string())]);
+        assert_eq!(
+            labels,
+            vec![("instance".to_string(), "search:80".to_string())]
+        );
         let (name, labels) = bifrost_metrics_selector("up").unwrap();
         assert_eq!(name, "up");
         assert!(labels.is_empty());

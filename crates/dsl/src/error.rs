@@ -85,7 +85,9 @@ impl DslError {
 impl fmt::Display for DslError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DslError::Syntax { line, message } => write!(f, "syntax error on line {line}: {message}"),
+            DslError::Syntax { line, message } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
             DslError::MissingField { context, field } => {
                 write!(f, "{context} is missing required field '{field}'")
             }
@@ -134,7 +136,10 @@ mod tests {
         assert!(DslError::invalid("metric", "validator", "no operator")
             .to_string()
             .contains("invalid field 'validator'"));
-        assert_eq!(DslError::unknown("service", "payments").to_string(), "unknown service 'payments'");
+        assert_eq!(
+            DslError::unknown("service", "payments").to_string(),
+            "unknown service 'payments'"
+        );
         let model: DslError = ModelError::InvalidPercentage(200.0).into();
         assert!(model.to_string().contains("model error"));
         assert!(model.source().is_some());

@@ -291,7 +291,10 @@ fn parse_mapping(lines: &[Line], pos: &mut usize, indent: usize) -> Result<YamlV
             ));
         };
         if entries.iter().any(|(existing, _)| existing == &key) {
-            return Err(DslError::syntax(line.number, format!("duplicate key '{key}'")));
+            return Err(DslError::syntax(
+                line.number,
+                format!("duplicate key '{key}'"),
+            ));
         }
         let line_number = line.number;
         *pos += 1;
@@ -347,7 +350,10 @@ fn parse_scalar(token: &str, line: usize) -> Result<YamlValue, DslError> {
     }
     if let Some(rest) = token.strip_prefix('[') {
         let Some(inner) = rest.strip_suffix(']') else {
-            return Err(DslError::syntax(line, format!("unterminated flow sequence '{token}'")));
+            return Err(DslError::syntax(
+                line,
+                format!("unterminated flow sequence '{token}'"),
+            ));
         };
         let items = inner
             .split(',')
@@ -382,7 +388,8 @@ mod tests {
 
     #[test]
     fn parses_scalars() {
-        let doc = parse("a: 1\nb: 2.5\nc: true\nd: hello\ne: \"quoted: value\"\nf: null\ng: ~\n").unwrap();
+        let doc = parse("a: 1\nb: 2.5\nc: true\nd: hello\ne: \"quoted: value\"\nf: null\ng: ~\n")
+            .unwrap();
         assert_eq!(doc.get("a").unwrap().as_i64(), Some(1));
         assert_eq!(doc.get("b").unwrap().as_f64(), Some(2.5));
         assert_eq!(doc.get("a").unwrap().as_f64(), Some(1.0));
@@ -398,7 +405,10 @@ mod tests {
     fn parses_nested_mappings() {
         let doc = parse("outer:\n  inner:\n    deep: 3\n  sibling: x\n").unwrap();
         let outer = doc.get("outer").unwrap();
-        assert_eq!(outer.get("inner").unwrap().get("deep").unwrap().as_i64(), Some(3));
+        assert_eq!(
+            outer.get("inner").unwrap().get("deep").unwrap().as_i64(),
+            Some(3)
+        );
         assert_eq!(outer.get("sibling").unwrap().as_str(), Some("x"));
         assert_eq!(outer.as_map().unwrap().len(), 2);
     }
@@ -476,7 +486,8 @@ routes:
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let doc = parse("# header\n\na: 1 # trailing\n\n# footer\nb: \"#not a comment\"\n").unwrap();
+        let doc =
+            parse("# header\n\na: 1 # trailing\n\n# footer\nb: \"#not a comment\"\n").unwrap();
         assert_eq!(doc.get("a").unwrap().as_i64(), Some(1));
         assert_eq!(doc.get("b").unwrap().as_str(), Some("#not a comment"));
     }
@@ -525,9 +536,15 @@ routes:
     #[test]
     fn scalar_helpers() {
         assert_eq!(YamlValue::Int(3).scalar_to_string(), Some("3".into()));
-        assert_eq!(YamlValue::Bool(true).scalar_to_string(), Some("true".into()));
+        assert_eq!(
+            YamlValue::Bool(true).scalar_to_string(),
+            Some("true".into())
+        );
         assert_eq!(YamlValue::Float(2.5).scalar_to_string(), Some("2.5".into()));
-        assert_eq!(YamlValue::Str("x".into()).scalar_to_string(), Some("x".into()));
+        assert_eq!(
+            YamlValue::Str("x".into()).scalar_to_string(),
+            Some("x".into())
+        );
         assert_eq!(YamlValue::Null.scalar_to_string(), None);
         let map = parse("a: 1\nb: two\nc:\n  - 1\n").unwrap();
         let strings = map.to_string_map();

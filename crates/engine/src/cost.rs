@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn default_is_node_calibration_and_optimized_is_cheaper() {
-        assert_eq!(EngineCostModel::default(), EngineCostModel::node_prototype());
+        assert_eq!(
+            EngineCostModel::default(),
+            EngineCostModel::node_prototype()
+        );
         let node = EngineCostModel::node_prototype();
         let fast = EngineCostModel::optimized();
         assert!(fast.check_cost(2) < node.check_cost(2));

@@ -120,7 +120,11 @@ impl BifrostEngine {
 
     /// Registers a proxy for a service with its default (stable) version and
     /// returns the shared handle for the application simulation.
-    pub fn register_proxy(&mut self, service: ServiceId, default_version: VersionId) -> ProxyHandle {
+    pub fn register_proxy(
+        &mut self,
+        service: ServiceId,
+        default_version: VersionId,
+    ) -> ProxyHandle {
         self.proxies.register(service, default_version)
     }
 
@@ -175,7 +179,10 @@ impl BifrostEngine {
 
     /// Reports for all scheduled strategies.
     pub fn reports(&self) -> Vec<StrategyReport> {
-        self.executions.values().map(StrategyReport::from_execution).collect()
+        self.executions
+            .values()
+            .map(StrategyReport::from_execution)
+            .collect()
     }
 
     /// Whether every scheduled strategy has reached a final state.
@@ -269,7 +276,8 @@ impl BifrostEngine {
             execution.mark_started(at);
             execution.strategy().automaton().start()
         };
-        self.events.push(EngineEvent::StrategyStarted { strategy, at });
+        self.events
+            .push(EngineEvent::StrategyStarted { strategy, at });
         self.enter_state(strategy, start_state, first_state_at);
     }
 
@@ -483,10 +491,11 @@ impl BifrostEngine {
                 Ok(o) => o,
                 Err(_) => return,
             };
-            let next = match execution.strategy().automaton().next_state(&outcome) {
-                Ok(n) => n,
-                Err(_) => None,
-            };
+            let next = execution
+                .strategy()
+                .automaton()
+                .next_state(&outcome)
+                .unwrap_or_default();
             (outcome.value, next)
         };
         self.events.push(EngineEvent::StateEvaluated {
@@ -547,10 +556,16 @@ mod tests {
         let mut catalog = ServiceCatalog::new();
         let search = catalog.add_service(Service::new("search"));
         let stable = catalog
-            .add_version(search, ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)))
+            .add_version(
+                search,
+                ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)),
+            )
             .unwrap();
         let fast = catalog
-            .add_version(search, ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)))
+            .add_version(
+                search,
+                ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)),
+            )
             .unwrap();
         let store = SharedMetricStore::new();
         let mut engine = BifrostEngine::new(EngineConfig::default());
@@ -607,9 +622,15 @@ mod tests {
         feed_low_errors(&f.store, 200);
         let strategy = StrategyBuilder::new("canary", f.catalog.clone())
             .phase(
-                PhaseSpec::canary("canary-5", f.search, f.stable, f.fast, Percentage::new(5.0).unwrap())
-                    .check(error_check(12, 5))
-                    .duration_secs(60),
+                PhaseSpec::canary(
+                    "canary-5",
+                    f.search,
+                    f.stable,
+                    f.fast,
+                    Percentage::new(5.0).unwrap(),
+                )
+                .check(error_check(12, 5))
+                .duration_secs(60),
             )
             .build()
             .unwrap();
@@ -643,9 +664,15 @@ mod tests {
         }
         let strategy = StrategyBuilder::new("canary", f.catalog.clone())
             .phase(
-                PhaseSpec::canary("canary-5", f.search, f.stable, f.fast, Percentage::new(5.0).unwrap())
-                    .check(error_check(12, 5))
-                    .duration_secs(60),
+                PhaseSpec::canary(
+                    "canary-5",
+                    f.search,
+                    f.stable,
+                    f.fast,
+                    Percentage::new(5.0).unwrap(),
+                )
+                .check(error_check(12, 5))
+                .duration_secs(60),
             )
             .build()
             .unwrap();
@@ -661,9 +688,15 @@ mod tests {
         let mut f = fixture();
         let strategy = StrategyBuilder::new("canary", f.catalog.clone())
             .phase(
-                PhaseSpec::canary("canary-5", f.search, f.stable, f.fast, Percentage::new(5.0).unwrap())
-                    .check(error_check(12, 5))
-                    .duration_secs(60),
+                PhaseSpec::canary(
+                    "canary-5",
+                    f.search,
+                    f.stable,
+                    f.fast,
+                    Percentage::new(5.0).unwrap(),
+                )
+                .check(error_check(12, 5))
+                .duration_secs(60),
             )
             .build()
             .unwrap();
@@ -685,9 +718,15 @@ mod tests {
         }
         let strategy = StrategyBuilder::new("canary", f.catalog.clone())
             .phase(
-                PhaseSpec::canary("canary-5", f.search, f.stable, f.fast, Percentage::new(5.0).unwrap())
-                    .check(exception_check(12, 5))
-                    .duration_secs(60),
+                PhaseSpec::canary(
+                    "canary-5",
+                    f.search,
+                    f.stable,
+                    f.fast,
+                    Percentage::new(5.0).unwrap(),
+                )
+                .check(exception_check(12, 5))
+                .duration_secs(60),
             )
             .build()
             .unwrap();
@@ -712,9 +751,15 @@ mod tests {
         feed_low_errors(&f.store, 500);
         let strategy = StrategyBuilder::new("full", f.catalog.clone())
             .phase(
-                PhaseSpec::canary("canary", f.search, f.stable, f.fast, Percentage::new(5.0).unwrap())
-                    .check(error_check(12, 5))
-                    .duration_secs(60),
+                PhaseSpec::canary(
+                    "canary",
+                    f.search,
+                    f.stable,
+                    f.fast,
+                    Percentage::new(5.0).unwrap(),
+                )
+                .check(error_check(12, 5))
+                .duration_secs(60),
             )
             .phase(
                 PhaseSpec::dark_launch("dark", f.search, f.stable, f.fast, Percentage::full())
@@ -752,8 +797,14 @@ mod tests {
         let proxy = f.engine.proxy(f.search).unwrap();
         let strategy = StrategyBuilder::new("canary", f.catalog.clone())
             .phase(
-                PhaseSpec::canary("canary-5", f.search, f.stable, f.fast, Percentage::new(5.0).unwrap())
-                    .duration_secs(30),
+                PhaseSpec::canary(
+                    "canary-5",
+                    f.search,
+                    f.stable,
+                    f.fast,
+                    Percentage::new(5.0).unwrap(),
+                )
+                .duration_secs(30),
             )
             .build()
             .unwrap();
@@ -775,9 +826,15 @@ mod tests {
         let make = |catalog: &ServiceCatalog, search, stable, fast| {
             StrategyBuilder::new("load", catalog.clone())
                 .phase(
-                    PhaseSpec::canary("canary", search, stable, fast, Percentage::new(5.0).unwrap())
-                        .check(error_check(12, 5))
-                        .duration_secs(60),
+                    PhaseSpec::canary(
+                        "canary",
+                        search,
+                        stable,
+                        fast,
+                        Percentage::new(5.0).unwrap(),
+                    )
+                    .check(error_check(12, 5))
+                    .duration_secs(60),
                 )
                 .build()
                 .unwrap()
@@ -788,7 +845,12 @@ mod tests {
             SimTime::ZERO,
         );
         base.engine.run_until(SimTime::from_secs(400));
-        let solo_delay = base.engine.report(solo_handle).unwrap().enactment_delay().unwrap();
+        let solo_delay = base
+            .engine
+            .report(solo_handle)
+            .unwrap()
+            .enactment_delay()
+            .unwrap();
 
         // Engine with 150 identical strategies starting at the same time.
         let mut busy = fixture();
@@ -806,8 +868,7 @@ mod tests {
             .iter()
             .map(|h| busy.engine.report(*h).unwrap().enactment_delay().unwrap())
             .collect();
-        let mean_delay =
-            delays.iter().map(|d| d.as_secs_f64()).sum::<f64>() / delays.len() as f64;
+        let mean_delay = delays.iter().map(|d| d.as_secs_f64()).sum::<f64>() / delays.len() as f64;
         assert!(
             mean_delay > solo_delay.as_secs_f64(),
             "mean {mean_delay} vs solo {}",
@@ -830,8 +891,14 @@ mod tests {
         feed_low_errors(&f.store, 300);
         let strategy = StrategyBuilder::new("canary", f.catalog.clone())
             .phase(
-                PhaseSpec::canary("c", f.search, f.stable, f.fast, Percentage::new(5.0).unwrap())
-                    .duration_secs(30),
+                PhaseSpec::canary(
+                    "c",
+                    f.search,
+                    f.stable,
+                    f.fast,
+                    Percentage::new(5.0).unwrap(),
+                )
+                .duration_secs(30),
             )
             .build()
             .unwrap();

@@ -138,7 +138,11 @@ impl EngineEvent {
             EngineEvent::StrategyStarted { strategy, at } => {
                 format!("{strategy} started at {at}")
             }
-            EngineEvent::StateEntered { strategy, state, at } => {
+            EngineEvent::StateEntered {
+                strategy,
+                state,
+                at,
+            } => {
                 format!("{strategy} entered {state} at {at}")
             }
             EngineEvent::ProxyConfigured {
@@ -183,7 +187,11 @@ impl EngineEvent {
                 at,
             } => format!(
                 "{strategy} completed in {final_state} at {at} ({})",
-                if *success { "rolled out" } else { "rolled back" }
+                if *success {
+                    "rolled out"
+                } else {
+                    "rolled back"
+                }
             ),
         }
     }

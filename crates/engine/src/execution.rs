@@ -45,7 +45,10 @@ pub enum ExecutionStatus {
 impl ExecutionStatus {
     /// Whether the execution has reached a final state.
     pub fn is_finished(self) -> bool {
-        matches!(self, ExecutionStatus::Succeeded | ExecutionStatus::RolledBack)
+        matches!(
+            self,
+            ExecutionStatus::Succeeded | ExecutionStatus::RolledBack
+        )
     }
 }
 
@@ -244,12 +247,16 @@ impl StrategyExecution {
             .checks()
             .iter()
             .map(|check| {
-                let progress = self.progress.get(&check.id()).copied().unwrap_or(CheckProgress {
-                    check: check.id(),
-                    executions: 0,
-                    successes: 0,
-                    planned: check.timer().repetitions(),
-                });
+                let progress = self
+                    .progress
+                    .get(&check.id())
+                    .copied()
+                    .unwrap_or(CheckProgress {
+                        check: check.id(),
+                        executions: 0,
+                        successes: 0,
+                        planned: check.timer().repetitions(),
+                    });
                 let mapped = check.map_aggregate(progress.successes);
                 if check.is_exception() {
                     if self.pending_exception.is_some() && Some(check.id()) == self.tripped_check()
@@ -274,9 +281,10 @@ impl StrategyExecution {
     /// first exception check whose fallback matches).
     fn tripped_check(&self) -> Option<CheckId> {
         let fallback = self.pending_exception?;
-        self.current_state_def()?.checks().iter().find_map(|check| {
-            (check.fallback() == Some(fallback)).then_some(check.id())
-        })
+        self.current_state_def()?
+            .checks()
+            .iter()
+            .find_map(|check| (check.fallback() == Some(fallback)).then_some(check.id()))
     }
 
     /// Marks the execution finished in `final_state`.
@@ -307,16 +315,28 @@ mod tests {
         let mut catalog = ServiceCatalog::new();
         let search = catalog.add_service(Service::new("search"));
         let stable = catalog
-            .add_version(search, ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)))
+            .add_version(
+                search,
+                ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)),
+            )
             .unwrap();
         let fast = catalog
-            .add_version(search, ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)))
+            .add_version(
+                search,
+                ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)),
+            )
             .unwrap();
         StrategyBuilder::new("exec-test", catalog)
             .phase(
-                PhaseSpec::canary("canary", search, stable, fast, Percentage::new(5.0).unwrap())
-                    .check(PhaseCheckFixture::error_check())
-                    .duration_secs(60),
+                PhaseSpec::canary(
+                    "canary",
+                    search,
+                    stable,
+                    fast,
+                    Percentage::new(5.0).unwrap(),
+                )
+                .check(PhaseCheckFixture::error_check())
+                .duration_secs(60),
             )
             .build()
             .unwrap()

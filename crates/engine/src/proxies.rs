@@ -134,10 +134,10 @@ fn translate_rule(rule: &RoutingRule) -> ProxyRule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bifrost_core::ids::UserId;
     use bifrost_core::routing::{DarkLaunchRoute, Percentage, RoutingMode, TrafficSplit};
     use bifrost_core::user::UserSelector;
     use bifrost_proxy::ProxyRequest;
-    use bifrost_core::ids::UserId;
 
     fn ids() -> (ServiceId, VersionId, VersionId) {
         (ServiceId::new(0), VersionId::new(0), VersionId::new(1))
@@ -229,13 +229,19 @@ mod tests {
             mode: RoutingMode::CookieBased,
         }]);
         assert_eq!(
-            handle.write().route(&ProxyRequest::from_user(UserId::new(1))).primary,
+            handle
+                .write()
+                .route(&ProxyRequest::from_user(UserId::new(1)))
+                .primary,
             canary
         );
         fleet.reset_all();
         assert!(!handle.read().is_active());
         assert_eq!(
-            handle.write().route(&ProxyRequest::from_user(UserId::new(1))).primary,
+            handle
+                .write()
+                .route(&ProxyRequest::from_user(UserId::new(1)))
+                .primary,
             stable
         );
     }

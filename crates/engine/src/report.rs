@@ -118,15 +118,27 @@ mod tests {
         let mut catalog = ServiceCatalog::new();
         let search = catalog.add_service(Service::new("search"));
         let stable = catalog
-            .add_version(search, ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)))
+            .add_version(
+                search,
+                ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)),
+            )
             .unwrap();
         let fast = catalog
-            .add_version(search, ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)))
+            .add_version(
+                search,
+                ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)),
+            )
             .unwrap();
         let strategy = StrategyBuilder::new("report-test", catalog)
             .phase(
-                PhaseSpec::canary("canary", search, stable, fast, Percentage::new(5.0).unwrap())
-                    .duration_secs(60),
+                PhaseSpec::canary(
+                    "canary",
+                    search,
+                    stable,
+                    fast,
+                    Percentage::new(5.0).unwrap(),
+                )
+                .duration_secs(60),
             )
             .build()
             .unwrap();

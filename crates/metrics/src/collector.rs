@@ -150,7 +150,10 @@ mod tests {
     fn key_helpers_match_written_series() {
         let store = SharedMetricStore::new();
         let mut collector = ResourceCollector::new(store.clone());
-        collector.scrape(TimestampMs::from_secs(1), &ResourceSample::new("c1", 1.0, 2.0));
+        collector.scrape(
+            TimestampMs::from_secs(1),
+            &ResourceSample::new("c1", 1.0, 2.0),
+        );
         store.with_store(|s| {
             assert!(s.series(&ResourceCollector::cpu_key("c1")).is_some());
             assert!(s.series(&ResourceCollector::memory_key("c1")).is_some());

@@ -193,21 +193,48 @@ mod tests {
 
     #[test]
     fn aggregation_translation_covers_all_variants() {
-        assert_eq!(translate_aggregation(QueryAggregation::Last), Aggregation::Last);
-        assert_eq!(translate_aggregation(QueryAggregation::Mean), Aggregation::Mean);
-        assert_eq!(translate_aggregation(QueryAggregation::Sum), Aggregation::Sum);
-        assert_eq!(translate_aggregation(QueryAggregation::Max), Aggregation::Max);
-        assert_eq!(translate_aggregation(QueryAggregation::Min), Aggregation::Min);
-        assert_eq!(translate_aggregation(QueryAggregation::Count), Aggregation::Count);
-        assert_eq!(translate_aggregation(QueryAggregation::Rate), Aggregation::Increase);
+        assert_eq!(
+            translate_aggregation(QueryAggregation::Last),
+            Aggregation::Last
+        );
+        assert_eq!(
+            translate_aggregation(QueryAggregation::Mean),
+            Aggregation::Mean
+        );
+        assert_eq!(
+            translate_aggregation(QueryAggregation::Sum),
+            Aggregation::Sum
+        );
+        assert_eq!(
+            translate_aggregation(QueryAggregation::Max),
+            Aggregation::Max
+        );
+        assert_eq!(
+            translate_aggregation(QueryAggregation::Min),
+            Aggregation::Min
+        );
+        assert_eq!(
+            translate_aggregation(QueryAggregation::Count),
+            Aggregation::Count
+        );
+        assert_eq!(
+            translate_aggregation(QueryAggregation::Rate),
+            Aggregation::Increase
+        );
     }
 
     #[test]
     fn store_provider_fetches_values() {
         let provider = StoreProvider::new("prometheus", store_with_errors());
         assert_eq!(provider.name(), "prometheus");
-        assert_eq!(provider.fetch(&error_query(), TimestampMs::from_secs(30)), Some(4.0));
-        assert_eq!(provider.fetch(&error_query(), TimestampMs::from_secs(5)), None);
+        assert_eq!(
+            provider.fetch(&error_query(), TimestampMs::from_secs(30)),
+            Some(4.0)
+        );
+        assert_eq!(
+            provider.fetch(&error_query(), TimestampMs::from_secs(5)),
+            None
+        );
         assert_eq!(provider.store().series_count(), 1);
     }
 
@@ -219,7 +246,10 @@ mod tests {
         assert_eq!(registry.len(), 1);
         assert!(registry.provider("prometheus").is_some());
         assert!(registry.provider("new_relic").is_none());
-        assert_eq!(registry.fetch(&error_query(), TimestampMs::from_secs(30)), Some(4.0));
+        assert_eq!(
+            registry.fetch(&error_query(), TimestampMs::from_secs(30)),
+            Some(4.0)
+        );
 
         let unknown = MetricQuery::new("new_relic", "x", "request_errors");
         assert_eq!(registry.fetch(&unknown, TimestampMs::from_secs(30)), None);

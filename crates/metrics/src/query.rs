@@ -251,7 +251,10 @@ mod tests {
     #[test]
     fn increase_clamps_counter_resets() {
         let s = samples(&[(10, 100.0), (20, 3.0)]);
-        assert_eq!(Aggregation::Increase.apply(&s, Duration::from_secs(10)), Some(0.0));
+        assert_eq!(
+            Aggregation::Increase.apply(&s, Duration::from_secs(10)),
+            Some(0.0)
+        );
     }
 
     #[test]

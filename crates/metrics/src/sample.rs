@@ -150,7 +150,10 @@ mod tests {
         let t = TimestampMs::from_secs(3);
         assert_eq!(t.as_millis(), 3_000);
         assert_eq!(t.as_secs_f64(), 3.0);
-        assert_eq!(TimestampMs::from(Duration::from_millis(250)).as_millis(), 250);
+        assert_eq!(
+            TimestampMs::from(Duration::from_millis(250)).as_millis(),
+            250
+        );
         assert_eq!(t.to_string(), "3.000s");
     }
 

@@ -65,9 +65,7 @@ impl TimeSeries {
             };
         }
         let start_ts = at.saturating_sub(window);
-        let start = self
-            .samples
-            .partition_point(|s| s.timestamp <= start_ts);
+        let start = self.samples.partition_point(|s| s.timestamp <= start_ts);
         // When the window start falls before the first sample the
         // partition_point is 0 and we include everything up to `end`.
         &self.samples[start.min(end)..end]
@@ -122,7 +120,11 @@ mod tests {
         s.push(Sample::new(TimestampMs::from_secs(10), 1.0));
         s.push(Sample::new(TimestampMs::from_secs(5), 2.0));
         s.push(Sample::new(TimestampMs::from_secs(20), 3.0));
-        let times: Vec<u64> = s.samples().iter().map(|s| s.timestamp.as_millis()).collect();
+        let times: Vec<u64> = s
+            .samples()
+            .iter()
+            .map(|s| s.timestamp.as_millis())
+            .collect();
         assert_eq!(times, vec![5_000, 10_000, 20_000]);
         assert_eq!(s.len(), 3);
         assert!(!s.is_empty());
@@ -150,10 +152,13 @@ mod tests {
         assert_eq!(w.len(), 1);
         assert_eq!(w[0].value, 3.0);
         // Window before any data → empty.
-        assert!(s.window(TimestampMs::from_secs(5), Duration::from_secs(2)).is_empty());
+        assert!(s
+            .window(TimestampMs::from_secs(5), Duration::from_secs(2))
+            .is_empty());
         // Window larger than the whole series → everything up to `at`.
         assert_eq!(
-            s.window(TimestampMs::from_secs(100), Duration::from_secs(1_000)).len(),
+            s.window(TimestampMs::from_secs(100), Duration::from_secs(1_000))
+                .len(),
             4
         );
     }

@@ -239,6 +239,9 @@ mod tests {
         assert_eq!(store.evaluate(&q, TimestampMs::from_secs(3)), Some(3.0));
         assert_eq!(store.snapshot().sample_count(), 2);
         assert_eq!(store.with_store(|s| s.series_count()), 1);
-        assert_eq!(store.prune(TimestampMs::from_secs(10), Duration::from_secs(1)), 2);
+        assert_eq!(
+            store.prune(TimestampMs::from_secs(10), Duration::from_secs(1)),
+            2
+        );
     }
 }

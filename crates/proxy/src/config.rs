@@ -128,7 +128,9 @@ impl ProxyConfig {
 
     /// Whether any rule requires sticky sessions.
     pub fn requires_sticky_sessions(&self) -> bool {
-        self.rules.iter().any(|r| matches!(r, ProxyRule::Split { sticky: true, .. }))
+        self.rules
+            .iter()
+            .any(|r| matches!(r, ProxyRule::Split { sticky: true, .. }))
     }
 
     /// Whether the configuration performs any traffic duplication.
@@ -164,8 +166,17 @@ mod tests {
         let (service, stable, canary) = versions();
         let split = TrafficSplit::canary(stable, canary, Percentage::new(5.0).unwrap()).unwrap();
         let config = ProxyConfig::new(service, stable)
-            .with_rule(ProxyRule::split(split, true, UserSelector::All, RoutingMode::CookieBased))
-            .with_rule(ProxyRule::shadow(DarkLaunchRoute::new(stable, canary, Percentage::full())))
+            .with_rule(ProxyRule::split(
+                split,
+                true,
+                UserSelector::All,
+                RoutingMode::CookieBased,
+            ))
+            .with_rule(ProxyRule::shadow(DarkLaunchRoute::new(
+                stable,
+                canary,
+                Percentage::full(),
+            )))
             .with_revision(3);
         assert_eq!(config.rules().len(), 2);
         assert!(config.split_rule().is_some());

@@ -62,12 +62,7 @@ impl OverheadModel {
 
     /// The CPU demand of handling one request with the given routing mode,
     /// sticky-session requirement, and number of shadow copies.
-    pub fn request_cost(
-        &self,
-        mode: RoutingMode,
-        sticky: bool,
-        shadow_copies: usize,
-    ) -> Duration {
+    pub fn request_cost(&self, mode: RoutingMode, sticky: bool, shadow_copies: usize) -> Duration {
         let mut ms = self.forward_ms;
         if mode == RoutingMode::CookieBased {
             ms += self.cookie_ms;
@@ -137,7 +132,9 @@ mod tests {
             (RoutingMode::CookieBased, true, 2),
             (RoutingMode::HeaderBased, false, 1),
         ] {
-            assert!(fast.request_cost(mode, sticky, shadows) < node.request_cost(mode, sticky, shadows));
+            assert!(
+                fast.request_cost(mode, sticky, shadows) < node.request_cost(mode, sticky, shadows)
+            );
         }
         assert!(fast.passthrough_cost() < node.passthrough_cost());
     }

@@ -186,7 +186,11 @@ impl BifrostProxy {
             .request_cost(mode, sticky, decision.shadows.len())
     }
 
-    fn route_by_header(&mut self, request: &ProxyRequest, split: &bifrost_core::TrafficSplit) -> RoutingDecision {
+    fn route_by_header(
+        &mut self,
+        request: &ProxyRequest,
+        split: &bifrost_core::TrafficSplit,
+    ) -> RoutingDecision {
         let versions: Vec<VersionId> = split.versions().collect();
         let target = match request.group_header() {
             Some("A") | Some("a") => versions.first().copied(),
@@ -285,14 +289,18 @@ mod tests {
         let decision = proxy.route(&ProxyRequest::from_user(UserId::new(1)));
         assert_eq!(decision.primary, stable);
         assert!(decision.shadows.is_empty());
-        assert_eq!(proxy.processing_cost(&decision), proxy.overhead().passthrough_cost());
+        assert_eq!(
+            proxy.processing_cost(&decision),
+            proxy.overhead().passthrough_cost()
+        );
         assert_eq!(proxy.stats().requests, 1);
         assert_eq!(proxy.name(), "search-proxy");
     }
 
     #[test]
     fn canary_split_approximates_share_over_users() {
-        let mut proxy = BifrostProxy::new("p", canary_config(10.0, false, RoutingMode::CookieBased));
+        let mut proxy =
+            BifrostProxy::new("p", canary_config(10.0, false, RoutingMode::CookieBased));
         let n = 20_000;
         let canary_hits = (0..n)
             .map(|i| proxy.route(&ProxyRequest::from_user(UserId::new(i))))
@@ -311,10 +319,18 @@ mod tests {
     fn same_user_is_routed_consistently_without_sticky_sessions() {
         // Cookie-based bucketing hashes the user id, so repeated requests by
         // the same user land on the same version even without stickiness.
-        let mut proxy = BifrostProxy::new("p", canary_config(50.0, false, RoutingMode::CookieBased));
-        let first = proxy.route(&ProxyRequest::from_user(UserId::new(7))).primary;
+        let mut proxy =
+            BifrostProxy::new("p", canary_config(50.0, false, RoutingMode::CookieBased));
+        let first = proxy
+            .route(&ProxyRequest::from_user(UserId::new(7)))
+            .primary;
         for _ in 0..20 {
-            assert_eq!(proxy.route(&ProxyRequest::from_user(UserId::new(7))).primary, first);
+            assert_eq!(
+                proxy
+                    .route(&ProxyRequest::from_user(UserId::new(7)))
+                    .primary,
+                first
+            );
         }
     }
 
@@ -351,7 +367,8 @@ mod tests {
     #[test]
     fn header_routing_uses_upstream_group_header() {
         let (_, stable, canary) = ids();
-        let mut proxy = BifrostProxy::new("p", canary_config(50.0, false, RoutingMode::HeaderBased));
+        let mut proxy =
+            BifrostProxy::new("p", canary_config(50.0, false, RoutingMode::HeaderBased));
         let a = proxy.route(&ProxyRequest::new().with_header("x-bifrost-group", "A"));
         let b = proxy.route(&ProxyRequest::new().with_header("x-bifrost-group", "B"));
         let by_index = proxy.route(&ProxyRequest::new().with_header("x-bifrost-group", "1"));
@@ -425,7 +442,8 @@ mod tests {
         let dark = ProxyConfig::new(service, stable).with_rule(ProxyRule::shadow(
             DarkLaunchRoute::new(stable, canary, Percentage::full()),
         ));
-        let mut dark_proxy = BifrostProxy::new("p2", dark).with_overhead(OverheadModel::node_prototype());
+        let mut dark_proxy =
+            BifrostProxy::new("p2", dark).with_overhead(OverheadModel::node_prototype());
         let decision = dark_proxy.route(&ProxyRequest::from_user(UserId::new(3)));
         assert!(dark_proxy.processing_cost(&decision) > base_cost);
     }

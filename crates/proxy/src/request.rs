@@ -42,7 +42,8 @@ impl ProxyRequest {
 
     /// Adds the session cookie (builder style).
     pub fn with_session(mut self, token: SessionToken) -> Self {
-        self.cookies.insert(SESSION_COOKIE.to_string(), token.to_string());
+        self.cookies
+            .insert(SESSION_COOKIE.to_string(), token.to_string());
         self
     }
 
@@ -85,7 +86,9 @@ fn parse_token(raw: &str) -> Option<SessionToken> {
     if hex.len() != 32 {
         return None;
     }
-    u128::from_str_radix(&hex, 16).ok().map(SessionToken::from_raw)
+    u128::from_str_radix(&hex, 16)
+        .ok()
+        .map(SessionToken::from_raw)
 }
 
 /// A duplicated ("shadowed") copy of the request produced by a dark-launch

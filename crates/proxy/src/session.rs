@@ -190,7 +190,9 @@ mod tests {
     fn bucket_draw_is_uniform_in_unit_interval() {
         let mut generator = TokenGenerator::seeded(11);
         let n = 10_000;
-        let draws: Vec<f64> = (0..n).map(|_| generator.next_token().bucket_draw()).collect();
+        let draws: Vec<f64> = (0..n)
+            .map(|_| generator.next_token().bucket_draw())
+            .collect();
         assert!(draws.iter().all(|d| (0.0..1.0).contains(d)));
         let mean = draws.iter().sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");

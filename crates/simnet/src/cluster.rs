@@ -18,9 +18,7 @@ use std::fmt;
 use std::time::Duration;
 
 /// Identifies a virtual machine of the cluster.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VmId(u32);
 
 impl VmId {
@@ -42,9 +40,7 @@ impl fmt::Display for VmId {
 }
 
 /// Identifies a container running on some VM.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ContainerId(u32);
 
 impl ContainerId {
@@ -346,7 +342,11 @@ impl Cluster {
                 } else {
                     0.0
                 };
-                ResourceSample::new(container.name(), cpu_percent, container.spec.memory_bytes as f64)
+                ResourceSample::new(
+                    container.name(),
+                    cpu_percent,
+                    container.spec.memory_bytes as f64,
+                )
             })
             .collect();
         self.collector.scrape_all(now.to_timestamp(), &samples);
@@ -422,7 +422,10 @@ mod tests {
         assert_eq!(a.queueing_delay(), Duration::ZERO);
         assert_eq!(b.queueing_delay(), Duration::from_millis(10));
         assert_eq!(cluster.container(product).unwrap().work_items(), 1);
-        assert_eq!(cluster.container(product).unwrap().busy(), Duration::from_millis(10));
+        assert_eq!(
+            cluster.container(product).unwrap().busy(),
+            Duration::from_millis(10)
+        );
     }
 
     #[test]
@@ -467,7 +470,10 @@ mod tests {
         cluster.execute(engine, SimTime::ZERO, Duration::from_millis(200));
         let util = cluster.vm_average_utilization(engine, SimTime::from_secs(1));
         assert!((util - 20.0).abs() < 1e-9);
-        assert_eq!(cluster.vm_average_utilization(ContainerId::new(99), SimTime::from_secs(1)), 0.0);
+        assert_eq!(
+            cluster.vm_average_utilization(ContainerId::new(99), SimTime::from_secs(1)),
+            0.0
+        );
     }
 
     #[test]

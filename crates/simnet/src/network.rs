@@ -81,12 +81,7 @@ impl NetworkModel {
     }
 
     /// The latency of a hop between two containers.
-    pub fn hop(
-        &self,
-        same_vm: bool,
-        payload_bytes: usize,
-        rng: &mut SimRng,
-    ) -> Duration {
+    pub fn hop(&self, same_vm: bool, payload_bytes: usize, rng: &mut SimRng) -> Duration {
         if same_vm {
             self.local.sample(payload_bytes, rng)
         } else {
@@ -118,7 +113,10 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         let expected_ms = model.expected(10 * 1024).as_secs_f64() * 1_000.0;
-        assert!((mean_ms - expected_ms).abs() < 0.1, "mean {mean_ms} vs {expected_ms}");
+        assert!(
+            (mean_ms - expected_ms).abs() < 0.1,
+            "mean {mean_ms} vs {expected_ms}"
+        );
     }
 
     #[test]

@@ -85,7 +85,8 @@ impl LoadProfile {
                 break;
             }
             let kind = self.mix.sample(rng);
-            let user = UserId::new((rng.uniform() * self.user_count as f64) as u64 % self.user_count);
+            let user =
+                UserId::new((rng.uniform() * self.user_count as f64) as u64 % self.user_count);
             arrivals.push(Arrival {
                 at: SimTime::from_secs_f64(now),
                 kind,
@@ -222,6 +223,9 @@ mod tests {
     fn degenerate_rate_window() {
         let profile = LoadProfile::paper_profile(Duration::from_secs(30));
         let plan = profile.plan(&mut SimRng::seeded(1));
-        assert_eq!(plan.rate_between(SimTime::from_secs(10), SimTime::from_secs(10)), 0.0);
+        assert_eq!(
+            plan.rate_between(SimTime::from_secs(10), SimTime::from_secs(10)),
+            0.0
+        );
     }
 }

@@ -178,7 +178,8 @@ mod tests {
         assert!((all.mean - 25.0).abs() < 1e-9);
 
         let first_half = PhaseWindow::new("first", SimTime::ZERO, SimTime::from_secs(50));
-        let second_half = PhaseWindow::new("second", SimTime::from_secs(50), SimTime::from_secs(100));
+        let second_half =
+            PhaseWindow::new("second", SimTime::from_secs(50), SimTime::from_secs(100));
         assert!((recorder.summary(Some(&first_half)).unwrap().mean - 20.0).abs() < 1e-9);
         assert!((recorder.mean_ms(Some(&second_half)).unwrap() - 30.0).abs() < 1e-9);
         assert!(first_half.contains(SimTime::from_secs(10)));
@@ -190,7 +191,11 @@ mod tests {
         let mut recorder = ResponseRecorder::new();
         recorder.record(record(1.0, 20.0, true));
         recorder.record(record(2.0, 500.0, false));
-        recorder.record_success(SimTime::from_secs(3), RequestKind::Buy, Duration::from_millis(30));
+        recorder.record_success(
+            SimTime::from_secs(3),
+            RequestKind::Buy,
+            Duration::from_millis(30),
+        );
         assert_eq!(recorder.response_times_ms(None).len(), 2);
         assert!((recorder.error_rate() - 1.0 / 3.0).abs() < 1e-12);
         let summary = recorder.summary(None).unwrap();
@@ -202,7 +207,9 @@ mod tests {
         let recorder = ResponseRecorder::new();
         assert!(recorder.summary(None).is_none());
         assert_eq!(recorder.error_rate(), 0.0);
-        assert!(recorder.moving_average_series(Duration::from_secs(3)).is_empty());
+        assert!(recorder
+            .moving_average_series(Duration::from_secs(3))
+            .is_empty());
         assert!(recorder.summary_by_kind().is_empty());
     }
 
@@ -224,9 +231,21 @@ mod tests {
     #[test]
     fn per_kind_summaries() {
         let mut recorder = ResponseRecorder::new();
-        recorder.record_success(SimTime::from_secs(1), RequestKind::Buy, Duration::from_millis(10));
-        recorder.record_success(SimTime::from_secs(2), RequestKind::Products, Duration::from_millis(50));
-        recorder.record_success(SimTime::from_secs(3), RequestKind::Products, Duration::from_millis(70));
+        recorder.record_success(
+            SimTime::from_secs(1),
+            RequestKind::Buy,
+            Duration::from_millis(10),
+        );
+        recorder.record_success(
+            SimTime::from_secs(2),
+            RequestKind::Products,
+            Duration::from_millis(50),
+        );
+        recorder.record_success(
+            SimTime::from_secs(3),
+            RequestKind::Products,
+            Duration::from_millis(70),
+        );
         let by_kind = recorder.summary_by_kind();
         assert_eq!(by_kind.len(), 2);
         let products = by_kind

@@ -178,7 +178,10 @@ mod tests {
         let mix = RequestMix::custom(1.0, 1.0, 2.0, 0.0);
         assert!((mix.probability(RequestKind::Products) - 0.5).abs() < 1e-12);
         assert_eq!(mix.probability(RequestKind::Search), 0.0);
-        assert_eq!(RequestMix::custom(0.0, 0.0, 0.0, 0.0), RequestMix::paper_mix());
+        assert_eq!(
+            RequestMix::custom(0.0, 0.0, 0.0, 0.0),
+            RequestMix::paper_mix()
+        );
     }
 
     #[test]

@@ -25,14 +25,20 @@ fn main() {
     for phase in &phase_names {
         let mut cells = Vec::new();
         for variant in Variant::ALL {
-            let run = runs.iter().find(|r| r.variant == variant).expect("variant ran");
+            let run = runs
+                .iter()
+                .find(|r| r.variant == variant)
+                .expect("variant ran");
             cells.push(
                 run.phase_mean(phase)
                     .map(|m| format!("{m:>9.2} ms"))
                     .unwrap_or_else(|| "-".to_string()),
             );
         }
-        println!("{:<18} {:>12} {:>12} {:>12}", phase, cells[0], cells[1], cells[2]);
+        println!(
+            "{:<18} {:>12} {:>12} {:>12}",
+            phase, cells[0], cells[1], cells[2]
+        );
     }
 
     let active = runs
@@ -45,8 +51,14 @@ fn main() {
     );
 
     // The qualitative claims of the paper, checked on the fly:
-    let baseline = runs.iter().find(|r| r.variant == Variant::Baseline).unwrap();
-    let inactive = runs.iter().find(|r| r.variant == Variant::Inactive).unwrap();
+    let baseline = runs
+        .iter()
+        .find(|r| r.variant == Variant::Baseline)
+        .unwrap();
+    let inactive = runs
+        .iter()
+        .find(|r| r.variant == Variant::Inactive)
+        .unwrap();
     let overhead =
         inactive.recorder.mean_ms(None).unwrap() - baseline.recorder.mean_ms(None).unwrap();
     println!("proxy overhead over the whole run: {overhead:.2} ms (paper: ~8 ms)");

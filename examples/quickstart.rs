@@ -90,6 +90,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for event in engine.events().for_strategy(handle.id()) {
         println!("  {}", event.describe());
     }
-    assert!(report.succeeded(), "healthy metrics should lead to a full rollout");
+    assert!(
+        report.succeeded(),
+        "healthy metrics should lead to a full rollout"
+    );
     Ok(())
 }

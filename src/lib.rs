@@ -61,22 +61,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// The formal model of live testing strategies (`bifrost-core`).
-pub use bifrost_core as core;
-/// The monitoring-data substrate (`bifrost-metrics`).
-pub use bifrost_metrics as metrics;
-/// The deterministic cluster simulator (`bifrost-simnet`).
-pub use bifrost_simnet as simnet;
-/// The routing proxy (`bifrost-proxy`).
-pub use bifrost_proxy as proxy;
-/// The enactment engine (`bifrost-engine`).
-pub use bifrost_engine as engine;
-/// The YAML-based strategy DSL (`bifrost-dsl`).
-pub use bifrost_dsl as dsl;
-/// The load generator and response recorder (`bifrost-workload`).
-pub use bifrost_workload as workload;
 /// The case-study application and evaluation scenarios (`bifrost-casestudy`).
 pub use bifrost_casestudy as casestudy;
+/// The formal model of live testing strategies (`bifrost-core`).
+pub use bifrost_core as core;
+/// The YAML-based strategy DSL (`bifrost-dsl`).
+pub use bifrost_dsl as dsl;
+/// The enactment engine (`bifrost-engine`).
+pub use bifrost_engine as engine;
+/// The monitoring-data substrate (`bifrost-metrics`).
+pub use bifrost_metrics as metrics;
+/// The routing proxy (`bifrost-proxy`).
+pub use bifrost_proxy as proxy;
+/// The deterministic cluster simulator (`bifrost-simnet`).
+pub use bifrost_simnet as simnet;
+/// The load generator and response recorder (`bifrost-workload`).
+pub use bifrost_workload as workload;
 
 /// A prelude pulling in the most commonly used types from every layer.
 pub mod prelude {

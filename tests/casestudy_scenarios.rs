@@ -2,15 +2,15 @@
 //! engine: live traffic routing reacting to strategy state changes, rollback
 //! under failure injection, and the dark-launch duplication effect.
 
+use bifrost::casestudy::strategies::EvaluationDurations;
 use bifrost::casestudy::{
     evaluation_strategy, CaseStudyApp, CaseStudyTopology, ProxyDeployment, VersionBehavior,
 };
-use bifrost::casestudy::strategies::EvaluationDurations;
 use bifrost::engine::{BifrostEngine, EngineConfig};
 use bifrost::metrics::{Aggregation, RangeQuery, SharedMetricStore};
+use bifrost::simnet::SimRng;
 use bifrost::simnet::SimTime;
 use bifrost::workload::{LoadProfile, RequestKind, ResponseRecorder};
-use bifrost::simnet::SimRng;
 use std::time::Duration;
 
 fn short_durations() -> EvaluationDurations {
@@ -138,7 +138,9 @@ fn defective_canary_is_rolled_back_and_users_stay_on_stable() {
     assert!(!product_proxy.read().config().has_dark_launch());
     let final_decision = {
         let mut proxy = product_proxy.write();
-        proxy.route(&bifrost::proxy::ProxyRequest::from_user(bifrost::core::ids::UserId::new(7)))
+        proxy.route(&bifrost::proxy::ProxyRequest::from_user(
+            bifrost::core::ids::UserId::new(7),
+        ))
     };
     assert_eq!(final_decision.primary, topology.product_stable);
 }
@@ -149,16 +151,17 @@ fn ab_test_winner_is_decided_with_statistical_significance() {
     // redesign) and product B (a poorly converting variant), collect the
     // business metrics the paper's A/B phase monitors, and evaluate the
     // winner with the two-proportion z-test.
+    use bifrost::core::prelude::*;
     use bifrost::metrics::{two_proportion_z_test, AbVerdict, Conversions};
     use bifrost::proxy::{ProxyConfig, ProxyRule};
-    use bifrost::core::prelude::*;
     use parking_lot_shim::new_proxy_handle;
 
     // Minimal local shim: build a proxy handle like the engine would.
     mod parking_lot_shim {
-        use super::*;
         use std::sync::Arc;
-        pub fn new_proxy_handle(proxy: bifrost::proxy::BifrostProxy) -> bifrost::engine::ProxyHandle {
+        pub fn new_proxy_handle(
+            proxy: bifrost::proxy::BifrostProxy,
+        ) -> bifrost::engine::ProxyHandle {
             Arc::new(parking_lot::RwLock::new(proxy))
         }
     }
@@ -191,7 +194,10 @@ fn ab_test_winner_is_decided_with_statistical_significance() {
             RoutingMode::CookieBased,
         ),
     );
-    let proxy = new_proxy_handle(bifrost::proxy::BifrostProxy::new("product-proxy", ab_config));
+    let proxy = new_proxy_handle(bifrost::proxy::BifrostProxy::new(
+        "product-proxy",
+        ab_config,
+    ));
     app.attach_proxies(Some(proxy), None);
 
     // Only buy requests matter for the conversion metric.
@@ -214,9 +220,18 @@ fn ab_test_winner_is_decided_with_statistical_significance() {
             )
             .unwrap_or(0.0) as u64
     };
-    let a = Conversions::new(count("requests_total", "product-a"), count("items_sold_total", "product-a"));
-    let b = Conversions::new(count("requests_total", "product-b"), count("items_sold_total", "product-b"));
-    assert!(a.trials > 2_000 && b.trials > 2_000, "A/B split should be ~50/50: {a:?} {b:?}");
+    let a = Conversions::new(
+        count("requests_total", "product-a"),
+        count("items_sold_total", "product-a"),
+    );
+    let b = Conversions::new(
+        count("requests_total", "product-b"),
+        count("items_sold_total", "product-b"),
+    );
+    assert!(
+        a.trials > 2_000 && b.trials > 2_000,
+        "A/B split should be ~50/50: {a:?} {b:?}"
+    );
 
     let result = two_proportion_z_test(a, b, 0.05);
     assert_eq!(result.verdict, AbVerdict::AWins, "result: {result:?}");
@@ -240,7 +255,11 @@ fn topology_catalog_is_consistent_with_the_app() {
 
     let store = SharedMetricStore::new();
     let mut app = CaseStudyApp::deploy(store, ProxyDeployment::None, 1);
-    let record = app.handle_request(SimTime::from_secs(1), bifrost::core::ids::UserId::new(1), RequestKind::Search);
+    let record = app.handle_request(
+        SimTime::from_secs(1),
+        bifrost::core::ids::UserId::new(1),
+        RequestKind::Search,
+    );
     assert!(record.response_time > Duration::ZERO);
     assert!(record.response_time < Duration::from_millis(200));
 }

@@ -112,7 +112,11 @@ fn dsl_strategy_runs_through_all_phases_and_succeeds() {
 
     // The proxy ends the run routing all traffic to the new version.
     let stats = proxy.read().stats().clone();
-    assert!(stats.config_updates >= 8, "config updates {}", stats.config_updates);
+    assert!(
+        stats.config_updates >= 8,
+        "config updates {}",
+        stats.config_updates
+    );
 
     // The event log contains every lifecycle milestone.
     let events = engine.events();
@@ -127,7 +131,10 @@ fn dsl_strategy_runs_through_all_phases_and_succeeds() {
         .filter(|e| matches!(e, EngineEvent::CheckExecuted { .. }))
         .count();
     // 5 canary executions + 1 dark pass + 1 ab sales + 5 rollout passes.
-    assert!(check_executions >= 12, "check executions {check_executions}");
+    assert!(
+        check_executions >= 12,
+        "check executions {check_executions}"
+    );
 }
 
 #[test]
@@ -185,7 +192,10 @@ fn many_dsl_strategies_run_in_parallel_on_one_engine() {
         .filter_map(|r| r.enactment_delay())
         .max()
         .unwrap();
-    assert!(max_delay < std::time::Duration::from_secs(60), "max delay {max_delay:?}");
+    assert!(
+        max_delay < std::time::Duration::from_secs(60),
+        "max delay {max_delay:?}"
+    );
 }
 
 #[test]

@@ -22,10 +22,16 @@ fn fixture() -> Fixture {
     let mut catalog = ServiceCatalog::new();
     let service = catalog.add_service(Service::new("payments"));
     let stable = catalog
-        .add_version(service, ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 443)))
+        .add_version(
+            service,
+            ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 443)),
+        )
         .unwrap();
     let canary = catalog
-        .add_version(service, ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 443)))
+        .add_version(
+            service,
+            ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 443)),
+        )
         .unwrap();
     Fixture {
         catalog,
@@ -65,10 +71,16 @@ fn exception_check(interval_secs: u64, executions: u32) -> PhaseCheck {
 fn two_phase_strategy(f: &Fixture) -> Strategy {
     StrategyBuilder::new("payments-rollout", f.catalog.clone())
         .phase(
-            PhaseSpec::canary("canary", f.service, f.stable, f.canary, Percentage::new(10.0).unwrap())
-                .check(error_check(10, 6))
-                .check(exception_check(10, 6))
-                .duration_secs(60),
+            PhaseSpec::canary(
+                "canary",
+                f.service,
+                f.stable,
+                f.canary,
+                Percentage::new(10.0).unwrap(),
+            )
+            .check(error_check(10, 6))
+            .check(exception_check(10, 6))
+            .duration_secs(60),
         )
         .phase(PhaseSpec::gradual_rollout(
             "ramp",
@@ -118,7 +130,10 @@ fn single_failing_execution_is_tolerated_by_basic_checks() {
     engine.run_to_completion(SimTime::from_secs(3_600));
 
     let report = engine.report(handle).unwrap();
-    assert!(report.succeeded(), "a single blip must not abort the rollout: {report:?}");
+    assert!(
+        report.succeeded(),
+        "a single blip must not abort the rollout: {report:?}"
+    );
     let failed_executions = engine
         .events()
         .for_strategy(handle.id())
@@ -136,14 +151,26 @@ fn sustained_regression_rolls_back_even_after_the_canary_phase_passed() {
     // second strategy whose ramp carries the check to observe the rollback.
     let strategy = StrategyBuilder::new("guarded-ramp", f.catalog.clone())
         .phase(
-            PhaseSpec::canary("canary", f.service, f.stable, f.canary, Percentage::new(10.0).unwrap())
-                .check(error_check(10, 3))
-                .duration_secs(30),
+            PhaseSpec::canary(
+                "canary",
+                f.service,
+                f.stable,
+                f.canary,
+                Percentage::new(10.0).unwrap(),
+            )
+            .check(error_check(10, 3))
+            .duration_secs(30),
         )
         .phase(
-            PhaseSpec::canary("hold-50", f.service, f.stable, f.canary, Percentage::new(50.0).unwrap())
-                .check(error_check(10, 3))
-                .duration_secs(30),
+            PhaseSpec::canary(
+                "hold-50",
+                f.service,
+                f.stable,
+                f.canary,
+                Percentage::new(50.0).unwrap(),
+            )
+            .check(error_check(10, 3))
+            .duration_secs(30),
         )
         .build()
         .unwrap();
@@ -178,7 +205,10 @@ fn metric_outage_fails_safe_into_rollback() {
 
     let report = engine.report(handle).unwrap();
     assert!(report.is_finished());
-    assert!(!report.succeeded(), "missing monitoring data must fail safe");
+    assert!(
+        !report.succeeded(),
+        "missing monitoring data must fail safe"
+    );
 }
 
 #[test]
@@ -190,17 +220,23 @@ fn unknown_provider_names_fail_safe_into_rollback() {
     // the DSL, or New Relic configured but not deployed).
     let strategy = StrategyBuilder::new("typo-provider", f.catalog.clone())
         .phase(
-            PhaseSpec::canary("canary", f.service, f.stable, f.canary, Percentage::new(10.0).unwrap())
-                .check(PhaseCheck::basic(
-                    "errors",
-                    CheckSpec::single(
-                        MetricQuery::new("new_relic", "errors", "payment_errors"),
-                        Validator::LessThan(5.0),
-                    ),
-                    Timer::from_secs(10, 3).unwrap(),
-                    OutcomeMapping::binary(3, -1, 1).unwrap(),
-                ))
-                .duration_secs(30),
+            PhaseSpec::canary(
+                "canary",
+                f.service,
+                f.stable,
+                f.canary,
+                Percentage::new(10.0).unwrap(),
+            )
+            .check(PhaseCheck::basic(
+                "errors",
+                CheckSpec::single(
+                    MetricQuery::new("new_relic", "errors", "payment_errors"),
+                    Validator::LessThan(5.0),
+                ),
+                Timer::from_secs(10, 3).unwrap(),
+                OutcomeMapping::binary(3, -1, 1).unwrap(),
+            ))
+            .duration_secs(30),
         )
         .build()
         .unwrap();

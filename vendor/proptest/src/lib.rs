@@ -1,0 +1,452 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API the workspace's property tests
+//! use: the [`proptest!`] macro, `prop_assert!` / `prop_assert_eq!`,
+//! range and collection strategies, `prop_map`, and `ProptestConfig`.
+//! Generation is deterministic (fixed-seed SplitMix64) and failing cases are
+//! reported with their inputs but not shrunk — acceptable for CI-style
+//! regression testing, and a drop-in swap for the real crate when the
+//! registry is available.
+
+#![forbid(unsafe_code)]
+
+/// Deterministic case generation plumbing.
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic RNG (SplitMix64) driving all value generation.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A fixed-seed RNG so test runs are reproducible.
+        pub fn deterministic() -> Self {
+            Self {
+                state: 0x5EED_B1F0_57E5_7ED5,
+            }
+        }
+
+        /// Returns the next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform draw in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// A uniform draw in `[0, bound)`; 0 when `bound == 0`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            if bound == 0 {
+                0
+            } else {
+                ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+            }
+        }
+    }
+
+    /// A failed property case (assertion message plus formatted inputs).
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError {
+        message: String,
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with the given message.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self {
+                message: message.into(),
+            }
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    /// Runner configuration; only `cases` is honoured by this stub.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no value tree and no shrinking: a
+    /// strategy simply draws a value from the RNG.
+    pub trait Strategy {
+        /// The type of values this strategy produces.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+    }
+
+    /// Strategy produced by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.map)(self.source.generate(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of the same value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    // Widen through i128 so signed spans wider than the
+                    // type's positive half don't wrap and sign-extend.
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = ((hi as i128 - lo as i128) as u64).wrapping_add(1);
+                    // span == 0 means the full 2^64 domain; below() treats 0
+                    // as empty, so fall back to a raw draw there.
+                    let offset = if span == 0 { rng.next_u64() } else { rng.below(span) };
+                    lo.wrapping_add(offset as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty range strategy");
+            // Occasionally pin the endpoints so `..=100.0` actually hits
+            // 100.0, which boundary-condition properties rely on.
+            match rng.below(16) {
+                0 => lo,
+                1 => hi,
+                _ => lo + rng.unit_f64() * (hi - lo),
+            }
+        }
+    }
+}
+
+/// Boolean strategies.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding `true` or `false` uniformly.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniform boolean strategy, mirroring `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<T>` with a size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors whose length lies in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1) as u64;
+            let len = self.size.start + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<T>` with a target size drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates ordered sets whose size lies in `size` (best effort: if the
+    /// element domain is too small the set may come up short, but never
+    /// below one element when `size.start >= 1`).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let span = self.size.end.saturating_sub(self.size.start).max(1) as u64;
+            let target = self.size.start + rng.below(span) as usize;
+            let mut set = BTreeSet::new();
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target.saturating_mul(32).max(32) {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// The commonly imported surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with an
+/// optional formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::deterministic();
+            for case in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                let inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}, ",)+ "case {}"),
+                    $(&$arg,)+ case
+                );
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                if let ::core::result::Result::Err(err) = outcome {
+                    panic!("proptest case failed: {err} [{inputs}]");
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..1_000 {
+            let v = (3i64..9).generate(&mut rng);
+            assert!((3..9).contains(&v));
+            let f = (0.0f64..=100.0).generate(&mut rng);
+            assert!((0.0..=100.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn signed_range_wider_than_positive_half_stays_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..1_000 {
+            let x = (-100i8..100).generate(&mut rng);
+            assert!((-100..100).contains(&x), "out of range: {x}");
+            let y = (-100i8..=100).generate(&mut rng);
+            assert!((-100..=100).contains(&y), "out of range: {y}");
+        }
+    }
+
+    #[test]
+    fn inclusive_float_range_hits_endpoints() {
+        let mut rng = TestRng::deterministic();
+        let strategy = 0.0f64..=100.0;
+        let draws: Vec<f64> = (0..500).map(|_| strategy.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|&v| v == 0.0));
+        assert!(draws.iter().any(|&v| v == 100.0));
+    }
+
+    #[test]
+    fn collections_respect_size() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..200 {
+            let v = crate::collection::vec(0i64..10, 1..6).generate(&mut rng);
+            assert!((1..6).contains(&v.len()));
+            let s = crate::collection::btree_set(-1_000i64..1_000, 1..8).generate(&mut rng);
+            assert!(!s.is_empty() && s.len() < 8);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn macro_smoke(a in 0i64..100, b in 0i64..100) {
+            prop_assert!(a + b >= a.min(b));
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(a - 1, a);
+        }
+    }
+}

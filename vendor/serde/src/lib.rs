@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! The crates.io registry is unavailable in the build environment, and the
+//! workspace only ever *derives* `Serialize` / `Deserialize` — no code path
+//! serializes or deserializes at runtime. This stub therefore ships empty
+//! marker traits and re-exports the no-op derive macros, keeping every
+//! `use serde::{Deserialize, Serialize};` + `#[derive(...)]` site compiling
+//! unchanged. Swapping back to the real serde is a one-line manifest change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no items; derive is a no-op).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no items; derive is a no-op).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace derives these traits on model types for API compatibility
+//! with the real `serde`, but never calls a serializer, so the derives can
+//! expand to nothing. Attribute arguments (`#[serde(...)]`) are accepted and
+//! ignored.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the marker traits in the `serde` stub have no items.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the marker traits in the `serde` stub have no items.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
