@@ -1,73 +1,191 @@
 //! The experiment harness binary: regenerates every table and figure of the
-//! paper's evaluation section.
+//! paper's evaluation section, with optional multi-trial parallel execution
+//! and machine-readable JSON reports for CI.
 //!
 //! ```text
-//! experiments fig6     [--quick]        response-time timeline (Figure 6)
-//! experiments table1   [--quick]        per-phase statistics (Table 1)
-//! experiments fig7 | fig8 [--max N]     parallel strategies (Figures 7 & 8)
-//! experiments fig9 | fig10 [--max N]    parallel checks (Figures 9 & 10)
-//! experiments all      [--quick]        everything above
+//! experiments fig6     [--quick] [--trials N] [--threads M] [--json [path]]
+//! experiments table1   [--quick]
+//! experiments fig7 | fig8 [--max N] [--trials N] [--threads M] [--json [path]]
+//! experiments fig9 | fig10 [--max N] [--trials N] [--threads M] [--json [path]]
+//! experiments all      [--quick] [...]           everything above
+//! experiments gate --candidate X.json --baseline Y.json [--threshold 0.2]
 //! ```
 //!
-//! `--quick` runs the compressed timeline (shorter phases, same structure);
-//! without it the paper-length 380-second experiment timeline is simulated.
+//! `--quick` runs the compressed timeline (shorter phases, same structure).
+//! `--trials N` repeats every experiment N times with deterministic seeds
+//! (`base seed + trial index`, override the base with `--base-seed S`) and
+//! reports mean/p50/p95/stddev per point; `--threads M` shards the trials
+//! over M worker threads without changing any result. `--json` writes the
+//! report to `BENCH_<fig>.json` (or the given path). `gate` compares a
+//! candidate report against a checked-in baseline and exits non-zero when a
+//! point's mean regressed beyond the threshold — the CI perf gate.
+//!
 //! Everything runs in virtual time, so even the full sweeps finish in
 //! seconds to minutes of wall-clock time.
 
-use bifrost_bench::report;
+use bifrost_bench::runner::RunnerConfig;
 use bifrost_bench::{fig6, fig7_fig8, fig9_fig10, table1};
+use bifrost_bench::{report, suite, BenchReport};
+use bifrost_core::seed::Seed;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let command = args.first().map(String::as_str).unwrap_or("all");
-    let quick = args.iter().any(|a| a == "--quick");
-    let max = args
-        .iter()
-        .position(|a| a == "--max")
+const USAGE: &str = "usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|all> \
+[--quick] [--max N] [--trials N] [--threads M] [--base-seed S] [--json [path]]\n       \
+experiments gate --candidate <report.json> --baseline <baseline.json> [--threshold 0.2]";
+
+/// Parsed command-line options shared by the figure commands.
+struct Options {
+    quick: bool,
+    max: Option<usize>,
+    runner: RunnerConfig,
+    /// Whether `--base-seed` was given explicitly (forces the seeded
+    /// multi-trial path even for a single trial).
+    seeded: bool,
+    /// `Some(None)` = `--json` with the default file name,
+    /// `Some(Some(path))` = explicit path.
+    json: Option<Option<String>>,
+}
+
+fn value_of(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
         .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse::<usize>().ok());
+        .cloned()
+}
 
+fn parse_options(args: &[String]) -> Options {
+    let parse = |flag: &str| value_of(args, flag).and_then(|v| v.parse::<usize>().ok());
+    let json = args
+        .iter()
+        .position(|a| a == "--json")
+        .map(|i| args.get(i + 1).filter(|v| !v.starts_with("--")).cloned());
+    let base_seed = value_of(args, "--base-seed").and_then(|v| v.parse::<u64>().ok());
+    Options {
+        quick: args.iter().any(|a| a == "--quick"),
+        max: parse("--max"),
+        runner: RunnerConfig::default()
+            .with_trials(parse("--trials").unwrap_or(1))
+            .with_threads(parse("--threads").unwrap_or(1))
+            .with_base_seed(base_seed.map(Seed::new).unwrap_or_default()),
+        seeded: base_seed.is_some(),
+        json,
+    }
+}
+
+/// Runs one figure through the multi-trial suite, prints its table, and
+/// writes the JSON report when requested. Exits the process on I/O errors.
+fn run_suite_figure(figure: &str, options: &Options) {
+    let report = suite::run_figure(figure, options.quick, options.max, &options.runner)
+        .unwrap_or_else(|| {
+            eprintln!("unknown figure '{figure}'");
+            std::process::exit(2);
+        });
+    print!("{}", report::render_bench_report(&report));
+    if let Some(path) = &options.json {
+        let path = path
+            .clone()
+            .unwrap_or_else(|| BenchReport::file_name(figure));
+        if let Err(error) = std::fs::write(&path, report.render_json()) {
+            eprintln!("cannot write '{path}': {error}");
+            std::process::exit(2);
+        }
+        println!("wrote {path}");
+    }
+}
+
+/// The single-trial legacy renderings (no --trials flag): exactly the
+/// paper-shaped text tables.
+fn run_single_trial(command: &str, options: &Options) {
     match command {
         "fig6" => {
-            let series = fig6::run(quick);
+            let series = fig6::run(options.quick);
             print!("{}", report::render_fig6(&series));
             print!("{}", report::render_expectations(&series));
         }
-        "table1" => {
-            let rows = table1::run(quick);
-            print!("{}", report::render_table1(&rows));
-        }
         "fig7" | "fig8" | "fig7_fig8" => {
-            let max = max.unwrap_or(if quick { 60 } else { 130 });
+            let max = options.max.unwrap_or(if options.quick { 60 } else { 130 });
             let points = fig7_fig8::run(max);
             print!("{}", report::render_fig7_fig8(&points));
         }
         "fig9" | "fig10" | "fig9_fig10" => {
-            let max = max.unwrap_or(if quick { 400 } else { 1_600 });
+            let max = options
+                .max
+                .unwrap_or(if options.quick { 400 } else { 1_600 });
             let points = fig9_fig10::run(max);
             print!("{}", report::render_fig9_fig10(&points));
         }
-        "all" => {
-            let series = fig6::run(quick);
-            print!("{}", report::render_fig6(&series));
-            print!("{}", report::render_expectations(&series));
-            let rows = table1::run(quick);
+        _ => unreachable!("caller dispatches only figure commands"),
+    }
+}
+
+fn run_figure_command(command: &str, options: &Options) {
+    // Multi-trial mode, an explicit JSON request, or an explicit seed goes
+    // through the suite; the bare single-trial invocation keeps the
+    // original paper-shaped output.
+    if options.runner.trials > 1 || options.json.is_some() || options.seeded {
+        run_suite_figure(command, options);
+    } else {
+        run_single_trial(command, options);
+    }
+}
+
+fn run_gate(args: &[String]) -> ! {
+    let load = |flag: &str| -> BenchReport {
+        let path = value_of(args, flag).unwrap_or_else(|| {
+            eprintln!("gate requires {flag} <report.json>\n{USAGE}");
+            std::process::exit(2);
+        });
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|error| {
+            eprintln!("cannot read '{path}': {error}");
+            std::process::exit(2);
+        });
+        BenchReport::parse(&text).unwrap_or_else(|error| {
+            eprintln!("invalid report '{path}': {error}");
+            std::process::exit(2);
+        })
+    };
+    let threshold = value_of(args, "--threshold")
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.2);
+    let candidate = load("--candidate");
+    let baseline = load("--baseline");
+    let result = bifrost_bench::gate(&candidate, &baseline, threshold);
+    print!("{}", result.render());
+    std::process::exit(if result.passed() { 0 } else { 1 });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all");
+    let options = parse_options(&args);
+
+    match command {
+        "gate" => run_gate(&args),
+        "table1" => {
+            let rows = table1::run(options.quick);
             print!("{}", report::render_table1(&rows));
-            let points = fig7_fig8::run(max.unwrap_or(if quick { 60 } else { 130 }));
-            print!("{}", report::render_fig7_fig8(&points));
-            let points = fig9_fig10::run(max.unwrap_or(if quick { 400 } else { 1_600 }));
-            print!("{}", report::render_fig9_fig10(&points));
+        }
+        "fig6" | "fig7" | "fig8" | "fig7_fig8" | "fig9" | "fig10" | "fig9_fig10" => {
+            run_figure_command(command, &options);
+        }
+        "all" => {
+            let mut options = options;
+            // One explicit --json path cannot hold three figures: fall back
+            // to the per-figure BENCH_<fig>.json names.
+            if let Some(Some(path)) = &options.json {
+                eprintln!("note: 'all' ignores the explicit path '{path}' and writes BENCH_<fig>.json per figure");
+                options.json = Some(None);
+            }
+            for figure in ["fig6", "fig7", "fig9"] {
+                run_figure_command(figure, &options);
+            }
+            let rows = table1::run(options.quick);
+            print!("{}", report::render_table1(&rows));
         }
         "help" | "--help" | "-h" => {
-            eprintln!(
-                "usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|all> [--quick] [--max N]"
-            );
+            eprintln!("{USAGE}");
         }
         other => {
-            eprintln!("unknown experiment '{other}'");
-            eprintln!(
-                "usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|all> [--quick] [--max N]"
-            );
+            eprintln!("unknown experiment '{other}'\n{USAGE}");
             std::process::exit(2);
         }
     }

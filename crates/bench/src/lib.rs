@@ -22,9 +22,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod engine_experiments;
+pub mod json;
 pub mod overhead_experiments;
 pub mod report;
+pub mod runner;
+pub mod suite;
 
 pub use engine_experiments::{fig7_fig8, fig9_fig10, ParallelChecksPoint, ParallelStrategiesPoint};
+pub use json::{Json, JsonError};
 pub use overhead_experiments::{fig6, table1, Fig6Series, Table1Row};
-pub use report::{format_series, format_table};
+pub use report::{format_series, format_table, render_bench_report};
+pub use runner::{
+    gate, run_trials, BenchReport, GateFinding, GateResult, PointStats, RunnerConfig, TrialOutcome,
+};
+pub use suite::run_figure;

@@ -1,6 +1,7 @@
 //! Figure 6 and Table 1: the end-user overhead experiment.
 
 use bifrost_casestudy::{OverheadExperiment, OverheadRun, Variant};
+use bifrost_core::seed::Seed;
 use bifrost_metrics::SummaryStats;
 use serde::{Deserialize, Serialize};
 
@@ -37,6 +38,17 @@ pub mod fig6 {
     pub fn run(quick: bool) -> Vec<Fig6Series> {
         let experiment = experiment(quick);
         experiment
+            .run_all()
+            .into_iter()
+            .map(|run| to_series(&run))
+            .collect()
+    }
+
+    /// The seeded variant used by the multi-trial runner: the whole
+    /// workload (arrival process, latency jitter) derives from `seed`.
+    pub fn run_seeded(quick: bool, seed: Seed) -> Vec<Fig6Series> {
+        experiment(quick)
+            .with_seed(seed.value())
             .run_all()
             .into_iter()
             .map(|run| to_series(&run))

@@ -2,6 +2,7 @@
 
 use crate::engine_experiments::{ParallelChecksPoint, ParallelStrategiesPoint};
 use crate::overhead_experiments::{Fig6Series, Table1Row};
+use crate::runner::BenchReport;
 use bifrost_casestudy::Variant;
 use bifrost_metrics::bin_average;
 use std::fmt::Write as _;
@@ -144,6 +145,44 @@ pub fn render_fig9_fig10(points: &[ParallelChecksPoint]) -> String {
         ],
         &rows,
     )
+}
+
+/// Renders a multi-trial [`BenchReport`] as an aligned text table (the
+/// human-readable companion of the `BENCH_<fig>.json` output).
+pub fn render_bench_report(report: &BenchReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.point.clone(),
+                format!("{:.4}", p.stats.mean),
+                format!("{:.4}", p.stats.p50),
+                format!("{:.4}", p.stats.p95),
+                format!("{:.4}", p.stats.sd),
+                format!("{:.4}", p.stats.min),
+                format!("{:.4}", p.stats.max),
+            ]
+        })
+        .collect();
+    let mut out = format_table(
+        &format!(
+            "{}: {} trials x {} threads, base seed {} ({})",
+            report.figure,
+            report.trials,
+            report.threads,
+            report.base_seed,
+            if report.quick {
+                "quick"
+            } else {
+                "paper-length"
+            },
+        ),
+        &["point", "mean", "p50", "p95", "sd", "min", "max"],
+        &rows,
+    );
+    let _ = writeln!(out, "wall-clock: {:.2}s", report.wall_clock_secs);
+    out
 }
 
 /// A short paper-vs-measured comparison block used by the `experiments`

@@ -1,0 +1,674 @@
+//! The multi-trial parallel experiment runner and the perf-regression gate.
+//!
+//! Every experiment point used to be a single serial trial — noisy and slow.
+//! This module shards *independent trials* of an experiment across OS
+//! threads: a shared, `parking_lot`-guarded queue of trial indices that
+//! worker threads drain (work stealing — a fast trial's thread immediately
+//! picks up the next pending trial), with **deterministic per-trial seeds**
+//! derived as `base_seed + trial_index` ([`bifrost_core::Seed::for_trial`]).
+//! Trials never share mutable state, so an N-thread run produces *exactly*
+//! the per-trial results of a 1-thread run (asserted by
+//! `tests/determinism.rs`), and any single trial can be reproduced in
+//! isolation from its printed seed.
+//!
+//! Per-trial measurements are aggregated into
+//! [`bifrost_metrics::DistributionSummary`] (mean/p50/p95/stddev) per
+//! experiment point, packaged as a [`BenchReport`], serialised to the
+//! `BENCH_<fig>.json` schema, and compared against a checked-in baseline by
+//! [`gate`] — the CI job fails when a point's mean regresses by more than
+//! the configured threshold. Statistical context for each comparison comes
+//! from [`bifrost_metrics::welch_from_summary`].
+
+use crate::json::Json;
+use bifrost_core::seed::{Seed, TrialConfig};
+use bifrost_metrics::{welch_from_summary, DistributionSummary};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// How a multi-trial run is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunnerConfig {
+    /// Number of independent trials per experiment.
+    pub trials: usize,
+    /// Number of worker threads sharing the trial queue.
+    pub threads: usize,
+    /// The base seed; trial `i` runs with seed `base_seed + i`.
+    pub base_seed: Seed,
+}
+
+impl Default for RunnerConfig {
+    fn default() -> Self {
+        Self {
+            trials: 1,
+            threads: 1,
+            base_seed: Seed::DEFAULT,
+        }
+    }
+}
+
+impl RunnerConfig {
+    /// Overrides the trial count (builder style, minimum 1).
+    pub fn with_trials(mut self, trials: usize) -> Self {
+        self.trials = trials.max(1);
+        self
+    }
+
+    /// Overrides the thread count (builder style, minimum 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Overrides the base seed (builder style).
+    pub fn with_base_seed(mut self, base_seed: Seed) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+}
+
+/// The result of one trial: its identity, wall-clock cost, and the value
+/// the trial closure returned.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialOutcome<T> {
+    /// Which trial this was (carries the derived seed).
+    pub config: TrialConfig,
+    /// Wall-clock time the trial took on its worker thread.
+    pub wall_clock: Duration,
+    /// The trial's measurement value.
+    pub value: T,
+}
+
+/// Runs `config.trials` independent executions of `trial` across
+/// `config.threads` scoped worker threads and returns the outcomes in trial
+/// order.
+///
+/// The trial closure receives a [`TrialConfig`] whose
+/// [`seed`](TrialConfig::seed) is `base_seed + trial_index`; it must derive
+/// *all* of its randomness from that seed and share no mutable state, which
+/// makes the outcome independent of the thread count and of the order in
+/// which threads steal trials from the queue.
+pub fn run_trials<T, F>(config: &RunnerConfig, trial: F) -> Vec<TrialOutcome<T>>
+where
+    T: Send,
+    F: Fn(TrialConfig) -> T + Sync,
+{
+    let trials = config.trials.max(1);
+    let threads = config.threads.max(1).min(trials);
+    let queue: Mutex<VecDeque<u64>> = Mutex::new((0..trials as u64).collect());
+    let results: Mutex<Vec<Option<TrialOutcome<T>>>> =
+        Mutex::new((0..trials).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                // Steal the next pending trial index; holding the queue lock
+                // only for the pop keeps workers out of each other's way.
+                let index = match queue.lock().pop_front() {
+                    Some(index) => index,
+                    None => break,
+                };
+                let trial_config = TrialConfig::new(config.base_seed, index, trials as u64);
+                let started = Instant::now();
+                let value = trial(trial_config);
+                let outcome = TrialOutcome {
+                    config: trial_config,
+                    wall_clock: started.elapsed(),
+                    value,
+                };
+                results.lock()[index as usize] = Some(outcome);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every trial index was executed"))
+        .collect()
+}
+
+/// A labelled measurement produced by one trial: `(point label, value)`
+/// pairs, one per experiment point the trial evaluated.
+pub type KeyedMeasurements = Vec<(String, f64)>;
+
+/// Aggregated statistics of one experiment point across all trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointStats {
+    /// The point label (e.g. `"strategies=10"` or `"active/Canary"`).
+    pub point: String,
+    /// mean/p50/p95/sd/min/max of the per-trial values.
+    pub stats: DistributionSummary,
+    /// The raw per-trial values, in trial order.
+    pub samples: Vec<f64>,
+}
+
+/// A machine-readable benchmark report: one figure, many points, each with
+/// per-trial samples and their distribution summary. This is the payload of
+/// the `BENCH_<fig>.json` files CI uploads and gates on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The figure / experiment the report belongs to (e.g. `"fig7"`).
+    pub figure: String,
+    /// Whether the compressed (`--quick`) timeline was used.
+    pub quick: bool,
+    /// The base seed of the run.
+    pub base_seed: u64,
+    /// Number of trials per point.
+    pub trials: usize,
+    /// Number of worker threads used.
+    pub threads: usize,
+    /// Total wall-clock seconds the run took.
+    pub wall_clock_secs: f64,
+    /// Per-point aggregated statistics.
+    pub points: Vec<PointStats>,
+}
+
+impl BenchReport {
+    /// The schema identifier embedded in every report.
+    pub const SCHEMA: &'static str = "bifrost-bench/v1";
+
+    /// The conventional file name of a figure's report.
+    pub fn file_name(figure: &str) -> String {
+        format!("BENCH_{figure}.json")
+    }
+
+    /// Aggregates keyed trial outcomes into a report. Point order follows
+    /// the first trial's key order; every trial must produce the same keys
+    /// (deterministic experiments do by construction).
+    pub fn from_keyed_trials(
+        figure: impl Into<String>,
+        quick: bool,
+        config: &RunnerConfig,
+        outcomes: &[TrialOutcome<KeyedMeasurements>],
+        wall_clock: Duration,
+    ) -> Self {
+        let mut points = Vec::new();
+        if let Some(first) = outcomes.first() {
+            for (key, _) in &first.value {
+                let samples: Vec<f64> = outcomes
+                    .iter()
+                    .filter_map(|outcome| {
+                        outcome
+                            .value
+                            .iter()
+                            .find(|(k, _)| k == key)
+                            .map(|(_, v)| *v)
+                    })
+                    .collect();
+                let stats = DistributionSummary::compute(&samples)
+                    .expect("at least one trial contributed a sample");
+                points.push(PointStats {
+                    point: key.clone(),
+                    stats,
+                    samples,
+                });
+            }
+        }
+        Self {
+            figure: figure.into(),
+            quick,
+            base_seed: config.base_seed.value(),
+            trials: outcomes.len(),
+            threads: config.threads,
+            wall_clock_secs: wall_clock.as_secs_f64(),
+            points,
+        }
+    }
+
+    /// The stats of a named point.
+    pub fn point(&self, name: &str) -> Option<&PointStats> {
+        self.points.iter().find(|p| p.point == name)
+    }
+
+    /// Serialises the report to its JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("schema", Json::str(Self::SCHEMA)),
+            ("figure", Json::str(&self.figure)),
+            ("quick", Json::Bool(self.quick)),
+            ("base_seed", Json::Num(self.base_seed as f64)),
+            ("trials", Json::Num(self.trials as f64)),
+            ("threads", Json::Num(self.threads as f64)),
+            ("wall_clock_secs", Json::Num(self.wall_clock_secs)),
+            (
+                "points",
+                Json::Arr(
+                    self.points
+                        .iter()
+                        .map(|p| {
+                            Json::obj([
+                                ("point", Json::str(&p.point)),
+                                (
+                                    "stats",
+                                    Json::obj([
+                                        ("count", Json::Num(p.stats.count as f64)),
+                                        ("mean", Json::Num(p.stats.mean)),
+                                        ("sd", Json::Num(p.stats.sd)),
+                                        ("min", Json::Num(p.stats.min)),
+                                        ("max", Json::Num(p.stats.max)),
+                                        ("p50", Json::Num(p.stats.p50)),
+                                        ("p95", Json::Num(p.stats.p95)),
+                                    ]),
+                                ),
+                                (
+                                    "samples",
+                                    Json::Arr(p.samples.iter().map(|v| Json::Num(*v)).collect()),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Renders the report as a JSON string.
+    pub fn render_json(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Reads a report back from its JSON document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first missing or mistyped field.
+    pub fn from_json(json: &Json) -> Result<Self, String> {
+        let str_field = |key: &str| -> Result<String, String> {
+            json.get(key)
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("missing string field '{key}'"))
+        };
+        let num_field = |value: &Json, key: &str| -> Result<f64, String> {
+            value
+                .get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("missing numeric field '{key}'"))
+        };
+        let mut points = Vec::new();
+        for point in json
+            .get("points")
+            .and_then(Json::as_array)
+            .ok_or("missing 'points' array")?
+        {
+            let stats = point.get("stats").ok_or("point missing 'stats'")?;
+            let samples = point
+                .get("samples")
+                .and_then(Json::as_array)
+                .map(|items| items.iter().filter_map(Json::as_f64).collect())
+                .unwrap_or_default();
+            points.push(PointStats {
+                point: point
+                    .get("point")
+                    .and_then(Json::as_str)
+                    .ok_or("point missing 'point' label")?
+                    .to_string(),
+                stats: DistributionSummary {
+                    count: num_field(stats, "count")? as usize,
+                    mean: num_field(stats, "mean")?,
+                    sd: num_field(stats, "sd")?,
+                    min: num_field(stats, "min")?,
+                    max: num_field(stats, "max")?,
+                    p50: num_field(stats, "p50")?,
+                    p95: num_field(stats, "p95")?,
+                },
+                samples,
+            });
+        }
+        Ok(Self {
+            figure: str_field("figure")?,
+            quick: matches!(json.get("quick"), Some(Json::Bool(true))),
+            base_seed: json.get("base_seed").and_then(Json::as_u64).unwrap_or(0),
+            trials: json.get("trials").and_then(Json::as_u64).unwrap_or(0) as usize,
+            threads: json.get("threads").and_then(Json::as_u64).unwrap_or(0) as usize,
+            wall_clock_secs: json
+                .get("wall_clock_secs")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0),
+            points,
+        })
+    }
+
+    /// Parses a report from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for syntax errors or schema mismatches.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let json = Json::parse(text).map_err(|e| e.to_string())?;
+        Self::from_json(&json)
+    }
+}
+
+/// One point's baseline-vs-candidate comparison in the regression gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateFinding {
+    /// The point label.
+    pub point: String,
+    /// Baseline mean.
+    pub baseline_mean: f64,
+    /// Candidate mean.
+    pub candidate_mean: f64,
+    /// `candidate / baseline` (1.0 when the baseline mean is ~zero and the
+    /// candidate is too).
+    pub ratio: f64,
+    /// Two-sided p-value of the mean difference (Welch from summaries).
+    pub p_value: f64,
+    /// Whether this point regressed beyond the threshold.
+    pub regressed: bool,
+}
+
+/// The outcome of gating a candidate report against a baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateResult {
+    /// The relative regression threshold used (e.g. `0.2` = 20 %).
+    pub threshold: f64,
+    /// Per-point comparisons for every baseline point found in the
+    /// candidate.
+    pub findings: Vec<GateFinding>,
+    /// Baseline points absent from the candidate report (a schema or sweep
+    /// mismatch — fails the gate so it cannot mask a regression).
+    pub missing_points: Vec<String>,
+}
+
+impl GateResult {
+    /// Whether the gate passed.
+    pub fn passed(&self) -> bool {
+        self.missing_points.is_empty() && self.findings.iter().all(|f| !f.regressed)
+    }
+
+    /// A human-readable gate summary (what the CI log shows).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "perf-regression gate (threshold +{:.0}%)\n",
+            self.threshold * 100.0
+        );
+        for finding in &self.findings {
+            let _ = writeln!(
+                out,
+                "  {:<28} baseline {:>10.4}  candidate {:>10.4}  ratio {:>5.2}x  p={:.3}  {}",
+                finding.point,
+                finding.baseline_mean,
+                finding.candidate_mean,
+                finding.ratio,
+                finding.p_value,
+                if finding.regressed { "REGRESSED" } else { "ok" }
+            );
+        }
+        for point in &self.missing_points {
+            let _ = writeln!(out, "  {point:<28} MISSING from candidate report");
+        }
+        let _ = writeln!(
+            out,
+            "gate: {}",
+            if self.passed() { "PASSED" } else { "FAILED" }
+        );
+        out
+    }
+}
+
+/// Small absolute slack (in the metric's unit) so near-zero baselines do
+/// not turn float dust into gate failures.
+const GATE_ABSOLUTE_SLACK: f64 = 1e-3;
+
+/// Compares a candidate report against a baseline: a point regresses when
+/// its candidate mean exceeds the baseline mean by more than
+/// `|baseline_mean| * threshold` plus a tiny absolute slack (the relative
+/// margin is taken on the magnitude so a negative baseline — e.g. a
+/// measured overhead that happens to favour the candidate — still gets a
+/// positive allowance). All metrics in the bench schema are
+/// lower-is-better (latencies, delays, overheads).
+pub fn gate(candidate: &BenchReport, baseline: &BenchReport, threshold: f64) -> GateResult {
+    let mut findings = Vec::new();
+    let mut missing_points = Vec::new();
+    for base_point in &baseline.points {
+        let Some(cand_point) = candidate.point(&base_point.point) else {
+            missing_points.push(base_point.point.clone());
+            continue;
+        };
+        let baseline_mean = base_point.stats.mean;
+        let candidate_mean = cand_point.stats.mean;
+        let limit = baseline_mean + baseline_mean.abs() * threshold + GATE_ABSOLUTE_SLACK;
+        let ratio = if baseline_mean.abs() > f64::EPSILON {
+            candidate_mean / baseline_mean
+        } else {
+            1.0
+        };
+        let welch = welch_from_summary(
+            candidate_mean,
+            cand_point.stats.sd,
+            cand_point.stats.count,
+            baseline_mean,
+            base_point.stats.sd,
+            base_point.stats.count,
+            0.05,
+        );
+        findings.push(GateFinding {
+            point: base_point.point.clone(),
+            baseline_mean,
+            candidate_mean,
+            ratio,
+            p_value: welch.p_value,
+            regressed: candidate_mean > limit,
+        });
+    }
+    GateResult {
+        threshold,
+        findings,
+        missing_points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn trials_get_sequential_seeds_and_ordered_results() {
+        let config = RunnerConfig::default()
+            .with_trials(8)
+            .with_threads(4)
+            .with_base_seed(Seed::new(1_000));
+        let outcomes = run_trials(&config, |trial| trial.seed().value());
+        assert_eq!(outcomes.len(), 8);
+        for (i, outcome) in outcomes.iter().enumerate() {
+            assert_eq!(outcome.config.trial_index, i as u64);
+            assert_eq!(outcome.value, 1_000 + i as u64);
+        }
+    }
+
+    #[test]
+    fn every_trial_runs_exactly_once_under_contention() {
+        let counter = AtomicUsize::new(0);
+        let config = RunnerConfig::default().with_trials(64).with_threads(8);
+        let outcomes = run_trials(&config, |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(outcomes.len(), 64);
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_outcomes() {
+        let run = |threads: usize| {
+            let config = RunnerConfig::default()
+                .with_trials(16)
+                .with_threads(threads)
+                .with_base_seed(Seed::new(7));
+            run_trials(&config, |trial| {
+                // A deterministic, seed-dependent computation.
+                let mut rng = bifrost_simnet::SimRng::seeded(trial.seed().value());
+                (0..100).map(|_| rng.uniform()).sum::<f64>()
+            })
+            .into_iter()
+            .map(|o| o.value)
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn degenerate_configs_are_clamped() {
+        let config = RunnerConfig::default().with_trials(0).with_threads(0);
+        assert_eq!(config.trials, 1);
+        assert_eq!(config.threads, 1);
+        let outcomes = run_trials(&config, |trial| trial.trials);
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].value, 1);
+    }
+
+    fn keyed_outcomes(values: &[(&str, &[f64])]) -> Vec<TrialOutcome<KeyedMeasurements>> {
+        let trials = values[0].1.len();
+        (0..trials)
+            .map(|i| TrialOutcome {
+                config: TrialConfig::new(Seed::new(42), i as u64, trials as u64),
+                wall_clock: Duration::from_millis(1),
+                value: values
+                    .iter()
+                    .map(|(k, samples)| (k.to_string(), samples[i]))
+                    .collect(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let outcomes = keyed_outcomes(&[
+            ("strategies=1", &[0.1, 0.2, 0.3, 0.4]),
+            ("strategies=10", &[1.0, 1.1, 1.2, 1.3]),
+        ]);
+        let config = RunnerConfig::default().with_trials(4).with_threads(2);
+        let report = BenchReport::from_keyed_trials(
+            "fig7",
+            true,
+            &config,
+            &outcomes,
+            Duration::from_secs_f64(0.5),
+        );
+        assert_eq!(report.points.len(), 2);
+        let p = report.point("strategies=1").unwrap();
+        assert!((p.stats.mean - 0.25).abs() < 1e-12);
+        assert_eq!(p.samples.len(), 4);
+
+        let parsed = BenchReport::parse(&report.render_json()).unwrap();
+        assert_eq!(parsed, report);
+        assert_eq!(BenchReport::file_name("fig7"), "BENCH_fig7.json");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_reports() {
+        assert!(BenchReport::parse("not json").is_err());
+        assert!(BenchReport::parse("{}").is_err());
+        assert!(BenchReport::parse(r#"{"figure":"f","points":[{"stats":{}}]}"#).is_err());
+    }
+
+    #[test]
+    fn gate_passes_identical_and_fails_regressed_reports() {
+        let config = RunnerConfig::default().with_trials(4);
+        let baseline = BenchReport::from_keyed_trials(
+            "fig7",
+            true,
+            &config,
+            &keyed_outcomes(&[("strategies=10", &[1.0, 1.0, 1.1, 0.9])]),
+            Duration::from_millis(10),
+        );
+        let same = gate(&baseline, &baseline, 0.2);
+        assert!(same.passed());
+        assert!(same.render().contains("PASSED"));
+
+        let slower = BenchReport::from_keyed_trials(
+            "fig7",
+            true,
+            &config,
+            &keyed_outcomes(&[("strategies=10", &[1.5, 1.5, 1.6, 1.4])]),
+            Duration::from_millis(10),
+        );
+        let regressed = gate(&slower, &baseline, 0.2);
+        assert!(!regressed.passed());
+        assert!(regressed.findings[0].regressed);
+        assert!(regressed.findings[0].ratio > 1.4);
+        assert!(regressed.render().contains("REGRESSED"));
+
+        // Within-threshold drift passes.
+        let drift = BenchReport::from_keyed_trials(
+            "fig7",
+            true,
+            &config,
+            &keyed_outcomes(&[("strategies=10", &[1.05, 1.05, 1.15, 0.95])]),
+            Duration::from_millis(10),
+        );
+        assert!(gate(&drift, &baseline, 0.2).passed());
+    }
+
+    #[test]
+    fn gate_fails_on_missing_points() {
+        let config = RunnerConfig::default().with_trials(2);
+        let baseline = BenchReport::from_keyed_trials(
+            "fig7",
+            true,
+            &config,
+            &keyed_outcomes(&[
+                ("strategies=10", &[1.0, 1.0]),
+                ("strategies=20", &[2.0, 2.0]),
+            ]),
+            Duration::from_millis(10),
+        );
+        let partial = BenchReport::from_keyed_trials(
+            "fig7",
+            true,
+            &config,
+            &keyed_outcomes(&[("strategies=10", &[1.0, 1.0])]),
+            Duration::from_millis(10),
+        );
+        let result = gate(&partial, &baseline, 0.2);
+        assert!(!result.passed());
+        assert_eq!(result.missing_points, vec!["strategies=20".to_string()]);
+        assert!(result.render().contains("MISSING"));
+    }
+
+    #[test]
+    fn negative_baseline_means_gate_on_magnitude() {
+        let config = RunnerConfig::default().with_trials(2);
+        let baseline = BenchReport::from_keyed_trials(
+            "fig6",
+            true,
+            &config,
+            &keyed_outcomes(&[("overhead/proxy_ms", &[-0.1, -0.1])]),
+            Duration::from_millis(1),
+        );
+        // Gating a negative-mean point against itself must pass.
+        assert!(gate(&baseline, &baseline, 0.2).passed());
+        // A genuinely regressed (less negative → slower) candidate fails.
+        let slower = BenchReport::from_keyed_trials(
+            "fig6",
+            true,
+            &config,
+            &keyed_outcomes(&[("overhead/proxy_ms", &[0.5, 0.5])]),
+            Duration::from_millis(1),
+        );
+        assert!(!gate(&slower, &baseline, 0.2).passed());
+    }
+
+    #[test]
+    fn near_zero_baselines_tolerate_float_dust() {
+        let config = RunnerConfig::default().with_trials(2);
+        let baseline = BenchReport::from_keyed_trials(
+            "fig9",
+            true,
+            &config,
+            &keyed_outcomes(&[("checks=8", &[0.0, 0.0])]),
+            Duration::from_millis(1),
+        );
+        let dusty = BenchReport::from_keyed_trials(
+            "fig9",
+            true,
+            &config,
+            &keyed_outcomes(&[("checks=8", &[1e-6, 2e-6])]),
+            Duration::from_millis(1),
+        );
+        assert!(gate(&dusty, &baseline, 0.2).passed());
+    }
+}

@@ -1,0 +1,162 @@
+//! Figure-level entry points for the multi-trial runner.
+//!
+//! Maps a figure name (`fig6`, `fig7`/`fig8`, `fig9`/`fig10`) to a trial
+//! function producing labelled measurements, runs it under
+//! [`runner::run_trials`], and aggregates the outcomes into a
+//! [`BenchReport`]. Both the `experiments` binary and the `bifrost bench`
+//! CLI command go through this module, so the JSON they emit is identical.
+//!
+//! All reported metrics are **lower-is-better** (milliseconds or seconds of
+//! latency/delay/overhead), which is what the perf-regression gate assumes.
+
+use crate::engine_experiments::{fig7_fig8, fig9_fig10};
+use crate::overhead_experiments::fig6;
+use crate::runner::{self, BenchReport, KeyedMeasurements, RunnerConfig};
+use bifrost_casestudy::Variant;
+use bifrost_core::seed::Seed;
+use std::time::Instant;
+
+/// The figure names the suite understands (aliases included).
+pub const FIGURES: &[&str] = &[
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig7_fig8",
+    "fig9",
+    "fig10",
+    "fig9_fig10",
+];
+
+/// Runs one figure as a multi-trial experiment. Returns `None` for an
+/// unknown figure name. `max` bounds the sweep of the engine-scalability
+/// figures (strategy or check count); `quick` selects the compressed
+/// timeline for the overhead experiment and the smaller default sweeps.
+pub fn run_figure(
+    figure: &str,
+    quick: bool,
+    max: Option<usize>,
+    config: &RunnerConfig,
+) -> Option<BenchReport> {
+    let trial: Box<dyn Fn(Seed) -> KeyedMeasurements + Sync> = match figure {
+        "fig6" => Box::new(move |seed| fig6_trial(quick, seed)),
+        "fig7" | "fig8" | "fig7_fig8" => {
+            let max = max.unwrap_or(if quick { 60 } else { 130 });
+            Box::new(move |seed| fig7_trial(max, seed))
+        }
+        "fig9" | "fig10" | "fig9_fig10" => {
+            let max = max.unwrap_or(if quick { 400 } else { 1_600 });
+            Box::new(move |seed| fig9_trial(max, seed))
+        }
+        _ => return None,
+    };
+    let started = Instant::now();
+    let outcomes = runner::run_trials(config, |trial_config| trial(trial_config.seed()));
+    Some(BenchReport::from_keyed_trials(
+        figure,
+        quick,
+        config,
+        &outcomes,
+        started.elapsed(),
+    ))
+}
+
+/// One trial of the end-user overhead experiment (Figure 6): per-phase mean
+/// response times of the active variant, the whole-run mean, and the proxy
+/// overhead (inactive − baseline).
+fn fig6_trial(quick: bool, seed: Seed) -> KeyedMeasurements {
+    let series = fig6::run_seeded(quick, seed);
+    let overall = |variant: Variant| -> Option<f64> {
+        let s = series.iter().find(|s| s.variant == variant)?;
+        if s.series.is_empty() {
+            return None;
+        }
+        Some(s.series.iter().map(|(_, v)| *v).sum::<f64>() / s.series.len() as f64)
+    };
+    let mut measurements = Vec::new();
+    if let (Some(base), Some(inactive)) = (overall(Variant::Baseline), overall(Variant::Inactive)) {
+        measurements.push(("overhead/proxy_ms".to_string(), inactive - base));
+    }
+    if let Some(active_mean) = overall(Variant::Active) {
+        measurements.push(("active/overall_ms".to_string(), active_mean));
+    }
+    if let Some(active) = series.iter().find(|s| s.variant == Variant::Active) {
+        for (phase, mean) in &active.phase_means {
+            measurements.push((format!("active/{phase}_ms"), *mean));
+        }
+    }
+    measurements
+}
+
+/// One trial of the parallel-strategies experiment (Figures 7–8): the mean
+/// enactment delay at every strategy-count step of the paper's sweep.
+fn fig7_trial(max: usize, seed: Seed) -> KeyedMeasurements {
+    fig7_fig8::paper_steps(max)
+        .into_iter()
+        .map(|strategies| {
+            let point = fig7_fig8::run_point_seeded(strategies, seed);
+            (format!("strategies={strategies}"), point.delay_secs.mean)
+        })
+        .collect()
+}
+
+/// One trial of the parallel-checks experiment (Figures 9–10): the
+/// enactment delay at every check-count step.
+fn fig9_trial(max: usize, seed: Seed) -> KeyedMeasurements {
+    fig9_fig10::paper_steps(max)
+        .into_iter()
+        .map(|checks| {
+            let point = fig9_fig10::run_point_seeded(checks, seed);
+            (format!("checks={checks}"), point.delay_secs)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_figures_are_rejected() {
+        assert!(run_figure("fig99", true, None, &RunnerConfig::default()).is_none());
+    }
+
+    #[test]
+    fn fig9_report_has_stats_per_point() {
+        let config = RunnerConfig::default().with_trials(2).with_threads(2);
+        let report = run_figure("fig9", true, Some(80), &config).unwrap();
+        assert_eq!(report.figure, "fig9");
+        assert_eq!(report.trials, 2);
+        // Steps 8 and 80.
+        assert_eq!(report.points.len(), 2);
+        for point in &report.points {
+            assert_eq!(point.stats.count, 2);
+            assert_eq!(point.samples.len(), 2);
+            assert!(point.stats.min <= point.stats.p50);
+            assert!(point.stats.p50 <= point.stats.p95);
+            assert!(point.stats.p95 <= point.stats.max);
+        }
+        // More checks → more delay, visible in the aggregated means.
+        assert!(
+            report.points[1].stats.mean >= report.points[0].stats.mean,
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn fig7_trials_vary_with_seed_but_not_thread_count() {
+        let base = RunnerConfig::default()
+            .with_trials(3)
+            .with_base_seed(Seed::new(11));
+        let serial = run_figure("fig7", true, Some(10), &base.with_threads(1)).unwrap();
+        let parallel = run_figure("fig7", true, Some(10), &base.with_threads(3)).unwrap();
+        // Identical measurements regardless of parallelism.
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(a.samples, b.samples);
+        }
+        // Different trials (seeds) produced at least some spread at the
+        // contended point.
+        let contended = serial.point("strategies=10").unwrap();
+        assert!(contended.stats.max >= contended.stats.min);
+    }
+}

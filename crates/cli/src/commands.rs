@@ -1,7 +1,10 @@
 //! CLI commands: argument parsing and command execution.
 
 use crate::dashboard::Dashboard;
+use bifrost_bench::runner::RunnerConfig;
+use bifrost_bench::{render_bench_report, suite};
 use bifrost_casestudy::prelude::*;
+use bifrost_core::seed::Seed;
 use bifrost_engine::{BifrostEngine, EngineConfig};
 use bifrost_metrics::SharedMetricStore;
 use bifrost_simnet::SimTime;
@@ -56,6 +59,10 @@ USAGE:
     bifrost run <strategy.yml> [--verbose] [--deadline <secs>]
                                         enact the strategy against the simulated deployment
     bifrost demo [--verbose]            run the product-replacement evaluation scenario
+    bifrost bench [--fig <fig6|fig7|fig9>] [--trials N] [--threads M]
+                  [--base-seed S] [--max N] [--quick] [--json <out.json>]
+                                        run a paper figure as a multi-trial parallel
+                                        experiment with deterministic per-trial seeds
     bifrost help                        show this message";
 
 /// A parsed CLI invocation.
@@ -84,6 +91,23 @@ pub enum Command {
     Demo {
         /// Show individual check executions.
         verbose: bool,
+    },
+    /// Run a paper figure as a multi-trial parallel benchmark.
+    Bench {
+        /// The figure to run (`fig6`, `fig7`, `fig9`, and their aliases).
+        figure: String,
+        /// Number of independent trials.
+        trials: usize,
+        /// Number of worker threads sharing the trial queue.
+        threads: usize,
+        /// Base seed; trial `i` runs with seed `base_seed + i`.
+        base_seed: u64,
+        /// Sweep bound for the engine-scalability figures.
+        max: Option<usize>,
+        /// Use the compressed (quick) timeline.
+        quick: bool,
+        /// Write the machine-readable report to this path.
+        json: Option<PathBuf>,
     },
     /// Print the usage text.
     Help,
@@ -143,6 +167,44 @@ impl Command {
             Some("demo") => {
                 let verbose = iter.any(|a| a == "--verbose" || a == "-v");
                 Ok(Command::Demo { verbose })
+            }
+            Some("bench") => {
+                let rest: Vec<&str> = iter.collect();
+                let mut figure = "fig7".to_string();
+                let mut trials = 1usize;
+                let mut threads = 1usize;
+                let mut base_seed = Seed::DEFAULT.value();
+                let mut max = None;
+                let mut quick = false;
+                let mut json = None;
+                let mut i = 0;
+                let usage = || CliError::Usage(USAGE.to_string());
+                while i < rest.len() {
+                    let take = |i: &mut usize| -> Result<&str, CliError> {
+                        *i += 1;
+                        rest.get(*i).copied().ok_or_else(usage)
+                    };
+                    match rest[i] {
+                        "--fig" | "--figure" => figure = take(&mut i)?.to_string(),
+                        "--trials" => trials = take(&mut i)?.parse().map_err(|_| usage())?,
+                        "--threads" => threads = take(&mut i)?.parse().map_err(|_| usage())?,
+                        "--base-seed" => base_seed = take(&mut i)?.parse().map_err(|_| usage())?,
+                        "--max" => max = Some(take(&mut i)?.parse().map_err(|_| usage())?),
+                        "--quick" => quick = true,
+                        "--json" => json = Some(PathBuf::from(take(&mut i)?)),
+                        _ => return Err(usage()),
+                    }
+                    i += 1;
+                }
+                Ok(Command::Bench {
+                    figure,
+                    trials,
+                    threads,
+                    base_seed,
+                    max,
+                    quick,
+                    json,
+                })
             }
             Some(other) => Err(CliError::Usage(format!(
                 "unknown command '{other}'\n\n{USAGE}"
@@ -212,7 +274,51 @@ pub fn run_command(command: &Command) -> Result<CommandOutput, CliError> {
             Ok(output)
         }
         Command::Demo { verbose } => Ok(run_demo(*verbose)),
+        Command::Bench {
+            figure,
+            trials,
+            threads,
+            base_seed,
+            max,
+            quick,
+            json,
+        } => run_bench(
+            figure,
+            RunnerConfig::default()
+                .with_trials(*trials)
+                .with_threads(*threads)
+                .with_base_seed(Seed::new(*base_seed)),
+            *max,
+            *quick,
+            json.as_deref(),
+        ),
     }
+}
+
+/// Runs a paper figure through the multi-trial runner and optionally writes
+/// the machine-readable `BENCH_<fig>.json` report.
+fn run_bench(
+    figure: &str,
+    config: RunnerConfig,
+    max: Option<usize>,
+    quick: bool,
+    json: Option<&std::path::Path>,
+) -> Result<CommandOutput, CliError> {
+    let report = suite::run_figure(figure, quick, max, &config).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown figure '{figure}' (expected one of: {})\n\n{USAGE}",
+            suite::FIGURES.join(", ")
+        ))
+    })?;
+    let mut text = render_bench_report(&report);
+    if let Some(path) = json {
+        std::fs::write(path, report.render_json()).map_err(|e| CliError::Io {
+            path: path.to_path_buf(),
+            message: e.to_string(),
+        })?;
+        text.push_str(&format!("wrote {}\n", path.display()));
+    }
+    Ok(CommandOutput::ok(text))
 }
 
 fn load_strategy(path: &PathBuf) -> Result<bifrost_core::Strategy, CliError> {
@@ -425,6 +531,90 @@ strategy:
         let err = run_command(&Command::Validate { path: path.clone() }).unwrap_err();
         assert!(matches!(err, CliError::Dsl(_)));
         fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parse_bench_command_with_flags() {
+        assert_eq!(
+            Command::parse(&strings(&["bench"])).unwrap(),
+            Command::Bench {
+                figure: "fig7".into(),
+                trials: 1,
+                threads: 1,
+                base_seed: 42,
+                max: None,
+                quick: false,
+                json: None,
+            }
+        );
+        assert_eq!(
+            Command::parse(&strings(&[
+                "bench",
+                "--fig",
+                "fig9",
+                "--trials",
+                "4",
+                "--threads",
+                "2",
+                "--base-seed",
+                "7",
+                "--max",
+                "80",
+                "--quick",
+                "--json",
+                "out.json",
+            ]))
+            .unwrap(),
+            Command::Bench {
+                figure: "fig9".into(),
+                trials: 4,
+                threads: 2,
+                base_seed: 7,
+                max: Some(80),
+                quick: true,
+                json: Some("out.json".into()),
+            }
+        );
+        assert!(Command::parse(&strings(&["bench", "--trials"])).is_err());
+        assert!(Command::parse(&strings(&["bench", "--trials", "x"])).is_err());
+        assert!(Command::parse(&strings(&["bench", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn bench_command_runs_trials_and_writes_json() {
+        let dir = std::env::temp_dir().join(format!("bifrost-cli-bench-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("BENCH_fig9.json");
+        let output = run_command(&Command::Bench {
+            figure: "fig9".into(),
+            trials: 2,
+            threads: 2,
+            base_seed: 7,
+            max: Some(8),
+            quick: true,
+            json: Some(json.clone()),
+        })
+        .unwrap();
+        assert_eq!(output.exit_code, 0);
+        assert!(output.text.contains("checks=8"), "{}", output.text);
+        assert!(output.text.contains("wrote"));
+        let report =
+            bifrost_bench::BenchReport::parse(&fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(report.figure, "fig9");
+        assert_eq!(report.trials, 2);
+        fs::remove_dir_all(&dir).ok();
+
+        let err = run_command(&Command::Bench {
+            figure: "nope".into(),
+            trials: 1,
+            threads: 1,
+            base_seed: 42,
+            max: None,
+            quick: true,
+            json: None,
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown figure"));
     }
 
     #[test]

@@ -51,6 +51,7 @@ pub mod ids;
 pub mod outcome;
 pub mod phase;
 pub mod routing;
+pub mod seed;
 pub mod service;
 pub mod state;
 pub mod strategy;
@@ -68,6 +69,7 @@ pub use routing::{
     DarkLaunchRoute, DynamicRoutingConfig, Percentage, RoutingMode, RoutingRule, TrafficSplit,
     UserAssignment,
 };
+pub use seed::{Seed, TrialConfig};
 pub use service::{Endpoint, Service, ServiceCatalog, ServiceVersion};
 pub use state::{State, StateBuilder};
 pub use strategy::{Strategy, StrategyBuilder};
@@ -89,6 +91,7 @@ pub mod prelude {
         DarkLaunchRoute, DynamicRoutingConfig, Percentage, RoutingMode, RoutingRule, TrafficSplit,
         UserAssignment,
     };
+    pub use crate::seed::{Seed, TrialConfig};
     pub use crate::service::{Endpoint, Service, ServiceCatalog, ServiceVersion};
     pub use crate::state::{State, StateBuilder};
     pub use crate::strategy::{Strategy, StrategyBuilder};

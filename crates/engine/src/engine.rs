@@ -2,14 +2,15 @@
 //! transitions, and proxy configuration over virtual time.
 
 use crate::cost::EngineCostModel;
-use crate::events::{EngineEvent, EventLog};
+use crate::events::{EngineEvent, EventLog, EventQueue};
 use crate::execution::StrategyExecution;
 use crate::proxies::{ProxyFleet, ProxyHandle};
 use crate::report::StrategyReport;
 use bifrost_core::ids::{CheckId, ServiceId, StateId, StrategyId, VersionId};
+use bifrost_core::seed::Seed;
 use bifrost_core::strategy::Strategy;
 use bifrost_metrics::{ProviderRegistry, SharedMetricStore};
-use bifrost_simnet::{CpuResource, Scheduler, SimTime};
+use bifrost_simnet::{CpuResource, SimTime};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
@@ -42,6 +43,11 @@ pub struct EngineConfig {
     /// How often the engine samples its own CPU utilisation into the event
     /// stream / utilisation trace.
     pub utilization_sample_interval: Duration,
+    /// The seed namespacing any stochastic engine behaviour. The enactment
+    /// core is deterministic, but the seed is part of the configuration so a
+    /// trial's engine, workload, and application all derive from one
+    /// [`bifrost_core::TrialConfig`] seed and the whole run is reproducible.
+    pub seed: Seed,
 }
 
 impl Default for EngineConfig {
@@ -50,7 +56,16 @@ impl Default for EngineConfig {
             cores: 1,
             costs: EngineCostModel::default(),
             utilization_sample_interval: Duration::from_secs(1),
+            seed: Seed::DEFAULT,
         }
+    }
+}
+
+impl EngineConfig {
+    /// Overrides the seed (builder style).
+    pub fn with_seed(mut self, seed: Seed) -> Self {
+        self.seed = seed;
+        self
     }
 }
 
@@ -79,13 +94,17 @@ enum EngineAction {
 /// The Bifrost engine.
 pub struct BifrostEngine {
     config: EngineConfig,
-    scheduler: Scheduler<EngineAction>,
+    queue: EventQueue<EngineAction>,
     cpu: CpuResource,
     providers: ProviderRegistry,
     proxies: ProxyFleet,
     executions: BTreeMap<StrategyId, StrategyExecution>,
     events: EventLog,
     next_strategy_id: u64,
+    /// Number of scheduled strategies that have not reached a final state.
+    /// Kept in sync by `schedule` / `finish_strategy` so the run loops'
+    /// completion test is O(1) instead of a scan over every execution.
+    unfinished: usize,
     utilization_trace: Vec<(SimTime, f64)>,
     utilization_sampling_started: bool,
 }
@@ -95,16 +114,22 @@ impl BifrostEngine {
     pub fn new(config: EngineConfig) -> Self {
         Self {
             config,
-            scheduler: Scheduler::new(),
+            queue: EventQueue::new(),
             cpu: CpuResource::new(config.cores),
             providers: ProviderRegistry::new(),
             proxies: ProxyFleet::new(),
             executions: BTreeMap::new(),
             events: EventLog::new(),
             next_strategy_id: 0,
+            unfinished: 0,
             utilization_trace: Vec::new(),
             utilization_sampling_started: false,
         }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
     }
 
     /// Registers a metrics provider backed by a shared store under `name`
@@ -140,18 +165,19 @@ impl BifrostEngine {
         self.next_strategy_id += 1;
         let execution = StrategyExecution::new(id, strategy, start_at);
         self.executions.insert(id, execution);
+        self.unfinished += 1;
         self.events.push(EngineEvent::StrategyScheduled {
             strategy: id,
             start_at,
         });
-        self.scheduler
+        self.queue
             .schedule_at(start_at, EngineAction::StartStrategy { strategy: id });
         StrategyHandle(id)
     }
 
     /// The current virtual time of the engine.
     pub fn now(&self) -> SimTime {
-        self.scheduler.now()
+        self.queue.now()
     }
 
     /// The engine's event log.
@@ -185,47 +211,53 @@ impl BifrostEngine {
             .collect()
     }
 
-    /// Whether every scheduled strategy has reached a final state.
+    /// Whether every scheduled strategy has reached a final state. O(1):
+    /// the engine counts unfinished strategies instead of scanning them.
     pub fn all_finished(&self) -> bool {
-        self.executions.values().all(|e| e.status().is_finished())
+        debug_assert_eq!(
+            self.unfinished,
+            self.executions
+                .values()
+                .filter(|e| !e.status().is_finished())
+                .count()
+        );
+        self.unfinished == 0
+    }
+
+    fn start_utilization_sampling(&mut self) {
+        if !self.utilization_sampling_started {
+            self.utilization_sampling_started = true;
+            self.queue.schedule_at(
+                SimTime::ZERO + self.config.utilization_sample_interval,
+                EngineAction::SampleUtilization,
+            );
+        }
     }
 
     /// Runs the engine until all pending work up to `deadline` has been
     /// processed, advancing virtual time. Returns the number of events
     /// processed.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
-        if !self.utilization_sampling_started {
-            self.utilization_sampling_started = true;
-            self.scheduler.schedule_at(
-                SimTime::ZERO + self.config.utilization_sample_interval,
-                EngineAction::SampleUtilization,
-            );
-        }
+        self.start_utilization_sampling();
         let mut processed = 0;
-        while let Some(event) = self.scheduler.pop_until(deadline) {
+        while let Some(due) = self.queue.pop_until(deadline) {
             processed += 1;
-            self.handle_action(event.at, event.payload, deadline);
+            self.handle_action(due.at, due.action, deadline);
         }
-        self.scheduler.advance_to(deadline);
+        self.queue.advance_to(deadline);
         processed
     }
 
     /// Runs the engine until every scheduled strategy has finished or
     /// `deadline` is reached, whichever comes first.
     pub fn run_to_completion(&mut self, deadline: SimTime) -> u64 {
+        self.start_utilization_sampling();
         let mut processed = 0;
-        if !self.utilization_sampling_started {
-            self.utilization_sampling_started = true;
-            self.scheduler.schedule_at(
-                SimTime::ZERO + self.config.utilization_sample_interval,
-                EngineAction::SampleUtilization,
-            );
-        }
-        while !self.all_finished() {
-            match self.scheduler.pop_until(deadline) {
-                Some(event) => {
+        while self.unfinished > 0 {
+            match self.queue.pop_until(deadline) {
+                Some(due) => {
                     processed += 1;
-                    self.handle_action(event.at, event.payload, deadline);
+                    self.handle_action(due.at, due.action, deadline);
                 }
                 None => break,
             }
@@ -239,8 +271,8 @@ impl BifrostEngine {
                 let utilization = self.cpu.sample_utilization(at);
                 self.utilization_trace.push((at, utilization));
                 let next = at + self.config.utilization_sample_interval;
-                if next <= deadline && !(self.all_finished() && self.scheduler.is_empty()) {
-                    self.scheduler
+                if next <= deadline && !(self.unfinished == 0 && self.queue.is_empty()) {
+                    self.queue
                         .schedule_at(next, EngineAction::SampleUtilization);
                 }
             }
@@ -329,24 +361,14 @@ impl BifrostEngine {
         }
 
         if is_final {
-            let (final_state, success) = {
-                let execution = self.executions.get_mut(&strategy).expect("known strategy");
-                execution.mark_finished(state, at);
-                (state, execution.strategy().is_success(state))
-            };
-            self.events.push(EngineEvent::StrategyCompleted {
-                strategy,
-                final_state,
-                success,
-                at,
-            });
+            self.finish_strategy(strategy, state, at);
             return;
         }
 
         // Schedule timed check executions relative to the state entry.
         for (check, offsets) in checks {
-            for offset in offsets {
-                self.scheduler.schedule_at(
+            self.queue.schedule_batch(offsets.into_iter().map(|offset| {
+                (
                     at + offset,
                     EngineAction::FireCheck {
                         strategy,
@@ -354,11 +376,11 @@ impl BifrostEngine {
                         check,
                         generation,
                     },
-                );
-            }
+                )
+            }));
         }
         // Schedule the state's nominal deadline.
-        self.scheduler.schedule_at(
+        self.queue.schedule_at(
             at + duration,
             EngineAction::StateDeadline {
                 strategy,
@@ -366,6 +388,26 @@ impl BifrostEngine {
                 generation,
             },
         );
+    }
+
+    /// Marks a strategy finished in `final_state`, maintains the unfinished
+    /// counter, and emits the completion event.
+    fn finish_strategy(&mut self, strategy: StrategyId, final_state: StateId, at: SimTime) {
+        let success = {
+            let execution = self.executions.get_mut(&strategy).expect("known strategy");
+            let was_finished = execution.status().is_finished();
+            execution.mark_finished(final_state, at);
+            if !was_finished {
+                self.unfinished = self.unfinished.saturating_sub(1);
+            }
+            execution.strategy().is_success(final_state)
+        };
+        self.events.push(EngineEvent::StrategyCompleted {
+            strategy,
+            final_state,
+            success,
+            at,
+        });
     }
 
     fn fire_check(
@@ -510,17 +552,7 @@ impl BifrostEngine {
             None => {
                 // The state itself was final (should normally be handled on
                 // entry, but kept for robustness).
-                let (final_state, success) = {
-                    let execution = self.executions.get_mut(&strategy).expect("known strategy");
-                    execution.mark_finished(state, at);
-                    (state, execution.strategy().is_success(state))
-                };
-                self.events.push(EngineEvent::StrategyCompleted {
-                    strategy,
-                    final_state,
-                    success,
-                    at,
-                });
+                self.finish_strategy(strategy, state, at);
             }
         }
     }
@@ -529,8 +561,9 @@ impl BifrostEngine {
 impl fmt::Debug for BifrostEngine {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BifrostEngine")
-            .field("now", &self.scheduler.now())
+            .field("now", &self.queue.now())
             .field("strategies", &self.executions.len())
+            .field("unfinished", &self.unfinished)
             .field("events", &self.events.len())
             .finish()
     }

@@ -1,14 +1,180 @@
-//! The engine's event stream.
+//! The engine's event machinery: the pending-action queue and the emitted
+//! event stream.
 //!
-//! Every significant action of the engine is recorded as an [`EngineEvent`].
-//! The CLI and dashboard consume this stream for status updates; the
-//! experiment harnesses use it to reconstruct enactment timelines; tests use
-//! it to assert on the engine's behaviour.
+//! [`EventQueue`] is the engine's time-ordered scheduler — a binary heap of
+//! `(fire time, sequence, action)` entries with a FIFO tie-break, popped in
+//! strictly non-decreasing time order. It deliberately mirrors the heap
+//! design of the generic `bifrost_simnet::Scheduler` (same ordering and
+//! past-clamping semantics) but lives in the engine so the hot loop owns
+//! its queue: engine-specific affordances like [`EventQueue::schedule_batch`]
+//! (the per-state check-timer fan-out reserves heap capacity once) can be
+//! added without widening the cross-crate generic API. The engine-side
+//! *algorithmic* wins of this layer are elsewhere: the O(1)
+//! `BifrostEngine::all_finished` counter and the indexed [`EventLog`]
+//! below.
+//!
+//! Every significant action of the engine is recorded as an [`EngineEvent`]
+//! in the [`EventLog`]. The CLI and dashboard consume this stream for status
+//! updates; the experiment harnesses use it to reconstruct enactment
+//! timelines; tests use it to assert on the engine's behaviour. The log
+//! maintains a per-strategy index so [`EventLog::for_strategy`] is
+//! proportional to that strategy's events rather than to the whole log —
+//! the difference between O(n) and O(n²) when a harness extracts the
+//! timelines of hundreds of parallel strategies.
 
 use bifrost_core::ids::{CheckId, StateId, StrategyId};
 use bifrost_core::ServiceId;
 use bifrost_simnet::SimTime;
 use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// One entry of the engine's pending-action heap.
+struct QueueEntry<A> {
+    at: SimTime,
+    sequence: u64,
+    action: A,
+}
+
+impl<A> PartialEq for QueueEntry<A> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.sequence == other.sequence
+    }
+}
+impl<A> Eq for QueueEntry<A> {}
+impl<A> PartialOrd for QueueEntry<A> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<A> Ord for QueueEntry<A> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.sequence).cmp(&(other.at, other.sequence))
+    }
+}
+
+/// A fired queue entry: when it was due and what it carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DueAction<A> {
+    /// The virtual time the action was scheduled for.
+    pub at: SimTime,
+    /// The action payload.
+    pub action: A,
+}
+
+/// The engine's time-ordered action scheduler: a min-heap over
+/// `(fire time, insertion sequence)` so simultaneous actions fire in FIFO
+/// order and virtual time never runs backwards.
+pub struct EventQueue<A> {
+    heap: BinaryHeap<Reverse<QueueEntry<A>>>,
+    now: SimTime,
+    next_sequence: u64,
+    processed: u64,
+}
+
+impl<A> Default for EventQueue<A> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            next_sequence: 0,
+            processed: 0,
+        }
+    }
+}
+
+impl<A> EventQueue<A> {
+    /// Creates an empty queue at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current virtual time (the fire time of the most recently popped
+    /// action, or zero initially).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an action at an absolute virtual time. Actions scheduled in
+    /// the past are clamped to the current time (they fire "now").
+    pub fn schedule_at(&mut self, at: SimTime, action: A) {
+        let sequence = self.next_sequence;
+        self.next_sequence += 1;
+        self.heap.push(Reverse(QueueEntry {
+            at: at.max(self.now),
+            sequence,
+            action,
+        }));
+    }
+
+    /// Schedules a batch of `(time, action)` pairs in iteration order — the
+    /// per-state fan-out of check-timer repetitions uses this to reserve
+    /// heap capacity once.
+    pub fn schedule_batch(&mut self, batch: impl IntoIterator<Item = (SimTime, A)>) {
+        let batch = batch.into_iter();
+        self.heap.reserve(batch.size_hint().0);
+        for (at, action) in batch {
+            self.schedule_at(at, action);
+        }
+    }
+
+    /// Pops the next due action, advancing the virtual clock to its fire
+    /// time.
+    pub fn pop(&mut self) -> Option<DueAction<A>> {
+        self.heap.pop().map(|Reverse(entry)| {
+            self.now = self.now.max(entry.at);
+            self.processed += 1;
+            DueAction {
+                at: entry.at,
+                action: entry.action,
+            }
+        })
+    }
+
+    /// Pops the next action only if it fires at or before `deadline`.
+    pub fn pop_until(&mut self, deadline: SimTime) -> Option<DueAction<A>> {
+        match self.heap.peek() {
+            Some(Reverse(entry)) if entry.at <= deadline => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// The fire time of the next pending action without popping it.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(entry)| entry.at)
+    }
+
+    /// Number of pending actions.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no actions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of actions popped so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Advances the clock to `at` without processing actions (used to close
+    /// out a run window after the last event).
+    pub fn advance_to(&mut self, at: SimTime) {
+        self.now = self.now.max(at);
+    }
+}
+
+impl<A> std::fmt::Debug for EventQueue<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("now", &self.now)
+            .field("pending", &self.heap.len())
+            .field("processed", &self.processed)
+            .finish()
+    }
+}
 
 /// One entry of the engine's event stream.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -197,10 +363,12 @@ impl EngineEvent {
     }
 }
 
-/// An append-only log of engine events.
+/// An append-only log of engine events with a per-strategy index.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct EventLog {
     events: Vec<EngineEvent>,
+    /// Positions in `events` belonging to each strategy, in insertion order.
+    by_strategy: BTreeMap<StrategyId, Vec<usize>>,
 }
 
 impl EventLog {
@@ -211,6 +379,10 @@ impl EventLog {
 
     /// Appends an event.
     pub fn push(&mut self, event: EngineEvent) {
+        self.by_strategy
+            .entry(event.strategy())
+            .or_default()
+            .push(self.events.len());
         self.events.push(event);
     }
 
@@ -219,9 +391,15 @@ impl EventLog {
         &self.events
     }
 
-    /// Events belonging to one strategy.
+    /// Events belonging to one strategy, in insertion order. Indexed: the
+    /// cost is proportional to that strategy's events, not to the whole log.
     pub fn for_strategy(&self, strategy: StrategyId) -> impl Iterator<Item = &EngineEvent> {
-        self.events.iter().filter(move |e| e.strategy() == strategy)
+        self.by_strategy
+            .get(&strategy)
+            .map(Vec::as_slice)
+            .unwrap_or_default()
+            .iter()
+            .map(move |&i| &self.events[i])
     }
 
     /// Number of events.
@@ -311,6 +489,57 @@ mod tests {
         assert_eq!(log.for_strategy(StrategyId::new(2)).count(), 1);
         assert_eq!(log.transitions_of(StrategyId::new(1)), 1);
         assert_eq!(log.events().len(), 7);
+    }
+
+    #[test]
+    fn queue_pops_in_time_order_with_fifo_ties() {
+        let mut q: EventQueue<&str> = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(3), "c");
+        q.schedule_at(SimTime::from_secs(1), "a");
+        q.schedule_batch([(SimTime::from_secs(1), "b"), (SimTime::from_secs(2), "x")]);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|e| e.action).collect();
+        // Same-instant entries fire in insertion order.
+        assert_eq!(order, vec!["a", "b", "x", "c"]);
+        assert_eq!(q.now(), SimTime::from_secs(3));
+        assert_eq!(q.processed(), 4);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn queue_clamps_past_events_and_respects_deadlines() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule_at(SimTime::from_secs(10), 1);
+        q.pop();
+        // Scheduled "in the past" relative to now = 10 s → fires at 10 s.
+        q.schedule_at(SimTime::from_secs(2), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(10)));
+        assert!(q.pop_until(SimTime::from_secs(5)).is_none());
+        assert!(q.pop_until(SimTime::from_secs(10)).is_some());
+        q.advance_to(SimTime::from_secs(99));
+        assert_eq!(q.now(), SimTime::from_secs(99));
+        assert!(format!("{q:?}").contains("pending"));
+    }
+
+    #[test]
+    fn log_index_matches_linear_scan() {
+        let mut log = EventLog::new();
+        for strategy in [1u64, 2, 1, 3, 1, 2] {
+            log.push(EngineEvent::StrategyStarted {
+                strategy: StrategyId::new(strategy),
+                at: SimTime::from_secs(strategy),
+            });
+        }
+        for id in [1u64, 2, 3, 4] {
+            let indexed: Vec<_> = log.for_strategy(StrategyId::new(id)).collect();
+            let scanned: Vec<_> = log
+                .events()
+                .iter()
+                .filter(|e| e.strategy() == StrategyId::new(id))
+                .collect();
+            assert_eq!(indexed, scanned);
+        }
     }
 
     #[test]

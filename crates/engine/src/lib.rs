@@ -56,7 +56,7 @@ pub mod report;
 
 pub use cost::EngineCostModel;
 pub use engine::{BifrostEngine, EngineConfig, StrategyHandle};
-pub use events::{EngineEvent, EventLog};
+pub use events::{DueAction, EngineEvent, EventLog, EventQueue};
 pub use execution::{CheckProgress, ExecutionStatus, StrategyExecution};
 pub use proxies::{ProxyFleet, ProxyHandle};
 pub use report::StrategyReport;
@@ -65,7 +65,7 @@ pub use report::StrategyReport;
 pub mod prelude {
     pub use crate::cost::EngineCostModel;
     pub use crate::engine::{BifrostEngine, EngineConfig, StrategyHandle};
-    pub use crate::events::{EngineEvent, EventLog};
+    pub use crate::events::{DueAction, EngineEvent, EventLog, EventQueue};
     pub use crate::execution::{CheckProgress, ExecutionStatus, StrategyExecution};
     pub use crate::proxies::{ProxyFleet, ProxyHandle};
     pub use crate::report::StrategyReport;

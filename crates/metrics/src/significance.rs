@@ -212,6 +212,50 @@ pub fn welch_t_test(a: &[f64], b: &[f64], alpha: f64) -> AbTestResult {
     }
 }
 
+/// Welch's t-test from pre-aggregated summary statistics `(mean, sd, n)`
+/// instead of raw samples. The CI perf-regression gate uses this: baseline
+/// benchmark reports store only per-point summaries, and the gate still
+/// wants to say whether a mean shift is statistically meaningful given the
+/// trial counts and spreads.
+pub fn welch_from_summary(
+    mean_a: f64,
+    sd_a: f64,
+    n_a: usize,
+    mean_b: f64,
+    sd_b: f64,
+    n_b: usize,
+    alpha: f64,
+) -> AbTestResult {
+    let difference = mean_a - mean_b;
+    if n_a == 0 || n_b == 0 {
+        return AbTestResult {
+            estimate_a: mean_a,
+            estimate_b: mean_b,
+            difference: 0.0,
+            statistic: 0.0,
+            p_value: 1.0,
+            verdict: AbVerdict::Inconclusive,
+            alpha,
+        };
+    }
+    let se = (sd_a * sd_a / n_a as f64 + sd_b * sd_b / n_b as f64).sqrt();
+    let (statistic, p_value) = if se <= 0.0 {
+        (0.0, if difference == 0.0 { 1.0 } else { 0.0 })
+    } else {
+        let t = difference / se;
+        (t, two_sided_p(t))
+    };
+    AbTestResult {
+        estimate_a: mean_a,
+        estimate_b: mean_b,
+        difference,
+        statistic,
+        p_value,
+        verdict: verdict(difference, p_value, alpha),
+        alpha,
+    }
+}
+
 /// Welch's t-test for metrics where lower values are better (e.g. response
 /// times): the verdict is flipped so that [`AbVerdict::AWins`] means variant A
 /// has the *lower* mean.
@@ -325,6 +369,32 @@ mod tests {
         // Zero variance but different means → decisive.
         let b = vec![6.0, 6.0, 6.0];
         assert_eq!(welch_t_test(&a, &b, 0.05).verdict, AbVerdict::BWins);
+    }
+
+    #[test]
+    fn welch_from_summary_matches_sample_test() {
+        let a: Vec<f64> = (0..200).map(|i| 100.0 + (i % 10) as f64).collect();
+        let b: Vec<f64> = (0..200).map(|i| 110.0 + (i % 10) as f64).collect();
+        let from_samples = welch_t_test(&a, &b, 0.05);
+        let mean = |s: &[f64]| s.iter().sum::<f64>() / s.len() as f64;
+        let sd = |s: &[f64], m: f64| {
+            (s.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (s.len() - 1) as f64).sqrt()
+        };
+        let (ma, mb) = (mean(&a), mean(&b));
+        let from_summary =
+            welch_from_summary(ma, sd(&a, ma), a.len(), mb, sd(&b, mb), b.len(), 0.05);
+        assert_eq!(from_summary.verdict, from_samples.verdict);
+        assert!((from_summary.statistic - from_samples.statistic).abs() < 1e-9);
+        assert!((from_summary.p_value - from_samples.p_value).abs() < 1e-9);
+        // Degenerate inputs.
+        assert_eq!(
+            welch_from_summary(1.0, 0.0, 0, 2.0, 0.0, 5, 0.05).verdict,
+            AbVerdict::Inconclusive
+        );
+        assert_eq!(
+            welch_from_summary(1.0, 0.0, 5, 2.0, 0.0, 5, 0.05).verdict,
+            AbVerdict::BWins
+        );
     }
 
     #[test]

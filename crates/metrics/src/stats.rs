@@ -71,6 +71,43 @@ impl SummaryStats {
     }
 }
 
+/// Summary of a sample distribution including tail percentiles — the
+/// aggregation the multi-trial benchmark runner reports per experiment
+/// point (mean / p50 / p95 / standard deviation across trials).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributionSummary {
+    /// Number of values.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator; 0 for a single value).
+    pub sd: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (50th percentile, nearest-rank).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank).
+    pub p95: f64,
+}
+
+impl DistributionSummary {
+    /// Computes the summary. Returns `None` for an empty slice.
+    pub fn compute(values: &[f64]) -> Option<Self> {
+        let base = SummaryStats::compute(values)?;
+        Some(Self {
+            count: base.count,
+            mean: base.mean,
+            sd: base.sd,
+            min: base.min,
+            max: base.max,
+            p50: SummaryStats::percentile(values, 50.0)?,
+            p95: SummaryStats::percentile(values, 95.0)?,
+        })
+    }
+}
+
 /// Computes a centred-at-the-end moving average over `(time, value)` pairs:
 /// for every input point, the output value is the mean of all values whose
 /// time lies within `window` *before* (and including) that point. This is the
@@ -160,6 +197,24 @@ mod tests {
         assert!((p50 - 50.0).abs() <= 1.0);
         let p95 = SummaryStats::percentile(&values, 95.0).unwrap();
         assert!((p95 - 95.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn distribution_summary_reports_tail_percentiles() {
+        let values: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let d = DistributionSummary::compute(&values).unwrap();
+        assert_eq!(d.count, 100);
+        assert!((d.mean - 50.5).abs() < 1e-12);
+        assert_eq!(d.min, 1.0);
+        assert_eq!(d.max, 100.0);
+        assert!((d.p50 - 50.0).abs() <= 1.0);
+        assert!((d.p95 - 95.0).abs() <= 1.0);
+        assert!(d.sd > 28.0 && d.sd < 30.0);
+        assert!(DistributionSummary::compute(&[]).is_none());
+        let single = DistributionSummary::compute(&[3.0]).unwrap();
+        assert_eq!(single.p50, 3.0);
+        assert_eq!(single.p95, 3.0);
+        assert_eq!(single.sd, 0.0);
     }
 
     #[test]

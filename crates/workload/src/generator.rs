@@ -3,6 +3,7 @@
 
 use crate::requests::{RequestKind, RequestMix};
 use bifrost_core::ids::UserId;
+use bifrost_core::seed::Seed;
 use bifrost_simnet::{SimRng, SimTime};
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
@@ -94,6 +95,15 @@ impl LoadProfile {
             });
         }
         ArrivalPlan { arrivals }
+    }
+
+    /// Generates the arrival plan from a [`Seed`], decorrelated into the
+    /// `"workload"` stream. This is the entry point the multi-trial runner
+    /// uses: the same seed always yields the same plan, and different layers
+    /// seeded from the same trial seed consume distinct random sequences.
+    pub fn plan_seeded(&self, seed: Seed) -> ArrivalPlan {
+        let mut rng = SimRng::seeded(seed.stream("workload").value());
+        self.plan(&mut rng)
     }
 }
 
@@ -204,6 +214,18 @@ mod tests {
         assert_eq!(a, b);
         let c = profile.plan(&mut SimRng::seeded(8));
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_stream_scoped() {
+        let profile = LoadProfile::paper_profile(Duration::from_secs(90));
+        let a = profile.plan_seeded(Seed::new(7));
+        let b = profile.plan_seeded(Seed::new(7));
+        assert_eq!(a, b);
+        assert_ne!(a, profile.plan_seeded(Seed::new(8)));
+        // The workload stream is decorrelated from the raw seed: using the
+        // raw value directly yields a different plan.
+        assert_ne!(a, profile.plan(&mut SimRng::seeded(7)));
     }
 
     #[test]
