@@ -1,0 +1,73 @@
+//! Wall-clock throughput of the per-request proxy hot path: batch routing
+//! (`route_many_costed`, compiled-config) versus the one-by-one
+//! `route`/`processing_cost` pair, under the configurations the traffic
+//! pipeline exercises (canary split, sticky sessions, dark launch).
+
+use bifrost_core::prelude::*;
+use bifrost_proxy::{BifrostProxy, ProxyConfig, ProxyRequest, ProxyRule};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn requests(n: usize) -> Vec<ProxyRequest> {
+    (0..n)
+        .map(|i| ProxyRequest::from_user(UserId::new(i as u64)))
+        .collect()
+}
+
+fn configs() -> Vec<(&'static str, ProxyConfig)> {
+    let service = ServiceId::new(0);
+    let stable = VersionId::new(0);
+    let canary = VersionId::new(1);
+    let split = TrafficSplit::canary(stable, canary, Percentage::new(10.0).unwrap()).unwrap();
+    vec![
+        (
+            "canary10",
+            ProxyConfig::new(service, stable).with_rule(ProxyRule::split(
+                split.clone(),
+                false,
+                UserSelector::All,
+                RoutingMode::CookieBased,
+            )),
+        ),
+        (
+            "canary10_sticky",
+            ProxyConfig::new(service, stable).with_rule(ProxyRule::split(
+                split,
+                true,
+                UserSelector::All,
+                RoutingMode::CookieBased,
+            )),
+        ),
+        (
+            "dark25",
+            ProxyConfig::new(service, stable).with_rule(ProxyRule::shadow(DarkLaunchRoute::new(
+                stable,
+                canary,
+                Percentage::new(25.0).unwrap(),
+            ))),
+        ),
+    ]
+}
+
+fn bench_batch_vs_serial(c: &mut Criterion) {
+    let batch = requests(1_000);
+    for (name, config) in configs() {
+        c.bench_function(format!("route_many_costed/{name}/1k"), |b| {
+            let mut proxy = BifrostProxy::new("bench", config.clone());
+            b.iter(|| criterion::black_box(proxy.route_many_costed(batch.iter()).len()));
+        });
+        c.bench_function(format!("route_serial/{name}/1k"), |b| {
+            let mut proxy = BifrostProxy::new("bench", config.clone());
+            b.iter(|| {
+                let mut shadows = 0usize;
+                for request in &batch {
+                    let (decision, _cost) = proxy.route_costed(request);
+                    shadows += decision.shadows.len();
+                }
+                criterion::black_box(shadows)
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_batch_vs_serial);
+criterion_main!(benches);

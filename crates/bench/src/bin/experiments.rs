@@ -28,14 +28,15 @@ use bifrost_bench::{fig6, fig7_fig8, fig9_fig10, table1};
 use bifrost_bench::{report, suite, BenchReport};
 use bifrost_core::seed::Seed;
 
-const USAGE: &str = "usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|all> \
-[--quick] [--max N] [--trials N] [--threads M] [--base-seed S] [--json [path]]\n       \
+const USAGE: &str = "usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|traffic|all> \
+[--quick] [--max N] [--requests N] [--trials N] [--threads M] [--base-seed S] [--json [path]]\n       \
 experiments gate --candidate <report.json> --baseline <baseline.json> [--threshold 0.2]";
 
 /// Parsed command-line options shared by the figure commands.
 struct Options {
     quick: bool,
     max: Option<usize>,
+    requests: Option<usize>,
     runner: RunnerConfig,
     /// Whether `--base-seed` was given explicitly (forces the seeded
     /// multi-trial path even for a single trial).
@@ -62,6 +63,7 @@ fn parse_options(args: &[String]) -> Options {
     Options {
         quick: args.iter().any(|a| a == "--quick"),
         max: parse("--max"),
+        requests: parse("--requests"),
         runner: RunnerConfig::default()
             .with_trials(parse("--trials").unwrap_or(1))
             .with_threads(parse("--threads").unwrap_or(1))
@@ -74,11 +76,17 @@ fn parse_options(args: &[String]) -> Options {
 /// Runs one figure through the multi-trial suite, prints its table, and
 /// writes the JSON report when requested. Exits the process on I/O errors.
 fn run_suite_figure(figure: &str, options: &Options) {
-    let report = suite::run_figure(figure, options.quick, options.max, &options.runner)
-        .unwrap_or_else(|| {
-            eprintln!("unknown figure '{figure}'");
-            std::process::exit(2);
-        });
+    let report = suite::run_figure(
+        figure,
+        options.quick,
+        options.max,
+        options.requests,
+        &options.runner,
+    )
+    .unwrap_or_else(|| {
+        eprintln!("unknown figure '{figure}'");
+        std::process::exit(2);
+    });
     print!("{}", report::render_bench_report(&report));
     if let Some(path) = &options.json {
         let path = path
@@ -120,8 +128,10 @@ fn run_single_trial(command: &str, options: &Options) {
 fn run_figure_command(command: &str, options: &Options) {
     // Multi-trial mode, an explicit JSON request, or an explicit seed goes
     // through the suite; the bare single-trial invocation keeps the
-    // original paper-shaped output.
-    if options.runner.trials > 1 || options.json.is_some() || options.seeded {
+    // original paper-shaped output. The traffic figure is suite-only (it
+    // has no paper-shaped legacy table).
+    if command == "traffic" || options.runner.trials > 1 || options.json.is_some() || options.seeded
+    {
         run_suite_figure(command, options);
     } else {
         run_single_trial(command, options);
@@ -164,7 +174,7 @@ fn main() {
             let rows = table1::run(options.quick);
             print!("{}", report::render_table1(&rows));
         }
-        "fig6" | "fig7" | "fig8" | "fig7_fig8" | "fig9" | "fig10" | "fig9_fig10" => {
+        "fig6" | "fig7" | "fig8" | "fig7_fig8" | "fig9" | "fig10" | "fig9_fig10" | "traffic" => {
             run_figure_command(command, &options);
         }
         "all" => {
@@ -175,7 +185,7 @@ fn main() {
                 eprintln!("note: 'all' ignores the explicit path '{path}' and writes BENCH_<fig>.json per figure");
                 options.json = Some(None);
             }
-            for figure in ["fig6", "fig7", "fig9"] {
+            for figure in ["fig6", "fig7", "fig9", "traffic"] {
                 run_figure_command(figure, &options);
             }
             let rows = table1::run(options.quick);

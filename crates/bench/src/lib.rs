@@ -12,6 +12,7 @@
 //! | Figure 8 (enactment delay vs parallel strategies) | [`fig7_fig8::run`] |
 //! | Figure 9 (engine CPU vs parallel checks) | [`fig9_fig10::run`] |
 //! | Figure 10 (enactment delay vs parallel checks) | [`fig9_fig10::run`] |
+//! | `traffic` (request-level routing accuracy, latency, and per-request proxy CPU — no paper counterpart) | [`traffic_experiments::run_point_seeded`] |
 //!
 //! Each harness returns plain data structures so the binary can print them
 //! as text tables and tests can assert on the qualitative shape (who wins,
@@ -27,6 +28,7 @@ pub mod overhead_experiments;
 pub mod report;
 pub mod runner;
 pub mod suite;
+pub mod traffic_experiments;
 
 pub use engine_experiments::{fig7_fig8, fig9_fig10, ParallelChecksPoint, ParallelStrategiesPoint};
 pub use json::{Json, JsonError};
@@ -36,3 +38,4 @@ pub use runner::{
     gate, run_trials, BenchReport, GateFinding, GateResult, PointStats, RunnerConfig, TrialOutcome,
 };
 pub use suite::run_figure;
+pub use traffic_experiments::TrafficPointResult;

@@ -12,6 +12,7 @@
 use crate::engine_experiments::{fig7_fig8, fig9_fig10};
 use crate::overhead_experiments::fig6;
 use crate::runner::{self, BenchReport, KeyedMeasurements, RunnerConfig};
+use crate::traffic_experiments;
 use bifrost_casestudy::Variant;
 use bifrost_core::seed::Seed;
 use std::time::Instant;
@@ -25,16 +26,19 @@ pub const FIGURES: &[&str] = &[
     "fig9",
     "fig10",
     "fig9_fig10",
+    "traffic",
 ];
 
 /// Runs one figure as a multi-trial experiment. Returns `None` for an
 /// unknown figure name. `max` bounds the sweep of the engine-scalability
-/// figures (strategy or check count); `quick` selects the compressed
-/// timeline for the overhead experiment and the smaller default sweeps.
+/// figures (strategy or check count); `requests` sets the request volume of
+/// the `traffic` figure; `quick` selects the compressed timeline for the
+/// overhead experiment and the smaller defaults everywhere else.
 pub fn run_figure(
     figure: &str,
     quick: bool,
     max: Option<usize>,
+    requests: Option<usize>,
     config: &RunnerConfig,
 ) -> Option<BenchReport> {
     let trial: Box<dyn Fn(Seed) -> KeyedMeasurements + Sync> = match figure {
@@ -46,6 +50,10 @@ pub fn run_figure(
         "fig9" | "fig10" | "fig9_fig10" => {
             let max = max.unwrap_or(if quick { 400 } else { 1_600 });
             Box::new(move |seed| fig9_trial(max, seed))
+        }
+        "traffic" => {
+            let requests = requests.unwrap_or(if quick { 20_000 } else { 100_000 });
+            Box::new(move |seed| traffic_trial(requests, seed))
         }
         _ => return None,
     };
@@ -111,19 +119,36 @@ fn fig9_trial(max: usize, seed: Seed) -> KeyedMeasurements {
         .collect()
 }
 
+/// One trial of the request-level traffic experiment: routing accuracy,
+/// virtual latency, and per-request proxy CPU cost. All lower-is-better
+/// and deterministic per seed.
+fn traffic_trial(requests: usize, seed: Seed) -> KeyedMeasurements {
+    let point = traffic_experiments::run_point_seeded(requests, seed);
+    vec![
+        ("latency/mean_ms".to_string(), point.mean_latency_ms),
+        ("latency/p95_ms".to_string(), point.p95_latency_ms),
+        ("split/abs_error_pct".to_string(), point.split_error_pct),
+        ("shadow/abs_error_pct".to_string(), point.shadow_error_pct),
+        (
+            "proxy/cpu_ms_per_request".to_string(),
+            point.proxy_cpu_ms_per_request,
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn unknown_figures_are_rejected() {
-        assert!(run_figure("fig99", true, None, &RunnerConfig::default()).is_none());
+        assert!(run_figure("fig99", true, None, None, &RunnerConfig::default()).is_none());
     }
 
     #[test]
     fn fig9_report_has_stats_per_point() {
         let config = RunnerConfig::default().with_trials(2).with_threads(2);
-        let report = run_figure("fig9", true, Some(80), &config).unwrap();
+        let report = run_figure("fig9", true, Some(80), None, &config).unwrap();
         assert_eq!(report.figure, "fig9");
         assert_eq!(report.trials, 2);
         // Steps 8 and 80.
@@ -143,12 +168,35 @@ mod tests {
     }
 
     #[test]
+    fn traffic_report_has_the_expected_points() {
+        let config = RunnerConfig::default().with_trials(2).with_threads(2);
+        let report = run_figure("traffic", true, None, Some(5_000), &config).unwrap();
+        assert_eq!(report.figure, "traffic");
+        for point in [
+            "latency/mean_ms",
+            "latency/p95_ms",
+            "split/abs_error_pct",
+            "shadow/abs_error_pct",
+            "proxy/cpu_ms_per_request",
+        ] {
+            let stats = report
+                .point(point)
+                .unwrap_or_else(|| panic!("missing {point}"));
+            assert_eq!(stats.samples.len(), 2);
+            assert!(stats.stats.mean.is_finite());
+        }
+        // Routing accuracy at 5k requests stays within 2 percentage points.
+        assert!(report.point("split/abs_error_pct").unwrap().stats.mean < 2.0);
+        assert!(report.point("shadow/abs_error_pct").unwrap().stats.mean < 2.0);
+    }
+
+    #[test]
     fn fig7_trials_vary_with_seed_but_not_thread_count() {
         let base = RunnerConfig::default()
             .with_trials(3)
             .with_base_seed(Seed::new(11));
-        let serial = run_figure("fig7", true, Some(10), &base.with_threads(1)).unwrap();
-        let parallel = run_figure("fig7", true, Some(10), &base.with_threads(3)).unwrap();
+        let serial = run_figure("fig7", true, Some(10), None, &base.with_threads(1)).unwrap();
+        let parallel = run_figure("fig7", true, Some(10), None, &base.with_threads(3)).unwrap();
         // Identical measurements regardless of parallelism.
         for (a, b) in serial.points.iter().zip(&parallel.points) {
             assert_eq!(a.point, b.point);

@@ -103,12 +103,38 @@ fn suite_reports_are_thread_count_invariant() {
     let base = RunnerConfig::default()
         .with_trials(4)
         .with_base_seed(Seed::new(7));
-    let serial = suite::run_figure("fig9", true, Some(80), &base.with_threads(1)).unwrap();
-    let parallel = suite::run_figure("fig9", true, Some(80), &base.with_threads(4)).unwrap();
+    let serial = suite::run_figure("fig9", true, Some(80), None, &base.with_threads(1)).unwrap();
+    let parallel = suite::run_figure("fig9", true, Some(80), None, &base.with_threads(4)).unwrap();
     assert_eq!(serial.points.len(), parallel.points.len());
     for (a, b) in serial.points.iter().zip(&parallel.points) {
         assert_eq!(a.point, b.point);
         assert_eq!(a.samples, b.samples, "point {} diverged", a.point);
+        assert_eq!(a.stats, b.stats);
+    }
+}
+
+#[test]
+fn traffic_figure_is_byte_identical_across_thread_counts() {
+    // The request-level traffic pipeline derives everything (arrival plan,
+    // routing draws, backend behaviour) from the per-trial seed, so the
+    // rendered per-point samples must match to the byte between a 1-thread
+    // and an N-thread run.
+    let base = RunnerConfig::default()
+        .with_trials(3)
+        .with_base_seed(Seed::new(21));
+    let serial =
+        suite::run_figure("traffic", true, None, Some(4_000), &base.with_threads(1)).unwrap();
+    let parallel =
+        suite::run_figure("traffic", true, None, Some(4_000), &base.with_threads(3)).unwrap();
+    assert_eq!(serial.points.len(), parallel.points.len());
+    for (a, b) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(a.point, b.point);
+        assert_eq!(
+            format!("{:?}", a.samples),
+            format!("{:?}", b.samples),
+            "point {} diverged",
+            a.point
+        );
         assert_eq!(a.stats, b.stats);
     }
 }

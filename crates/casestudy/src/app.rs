@@ -418,42 +418,22 @@ impl CaseStudyApp {
     /// attached), returning the serving version, dark-launch shadow targets,
     /// and the proxy CPU cost.
     fn route_product(&mut self, user: UserId) -> (VersionId, Vec<VersionId>, Duration) {
-        match (&self.proxy_deployment, &self.product_proxy) {
-            (ProxyDeployment::None, _) => {
-                (self.topology.product_stable, Vec::new(), Duration::ZERO)
-            }
-            (ProxyDeployment::Deployed, None) => (
-                self.topology.product_stable,
-                Vec::new(),
-                bifrost_proxy::OverheadModel::default().passthrough_cost(),
-            ),
-            (ProxyDeployment::Deployed, Some(handle)) => {
-                let mut proxy = handle.write();
-                let decision: RoutingDecision = proxy.route(&ProxyRequest::from_user(user));
-                let cost = proxy.processing_cost(&decision);
-                let shadows = decision.shadows.iter().map(|s| s.target).collect();
-                (decision.primary, shadows, cost)
-            }
-        }
+        route_via_proxy(
+            self.proxy_deployment,
+            self.product_proxy.as_ref(),
+            self.topology.product_stable,
+            user,
+        )
     }
 
     /// Routes a search sub-request through the search proxy.
     fn route_search(&mut self, user: UserId) -> (VersionId, Vec<VersionId>, Duration) {
-        match (&self.proxy_deployment, &self.search_proxy) {
-            (ProxyDeployment::None, _) => (self.topology.search_stable, Vec::new(), Duration::ZERO),
-            (ProxyDeployment::Deployed, None) => (
-                self.topology.search_stable,
-                Vec::new(),
-                bifrost_proxy::OverheadModel::default().passthrough_cost(),
-            ),
-            (ProxyDeployment::Deployed, Some(handle)) => {
-                let mut proxy = handle.write();
-                let decision = proxy.route(&ProxyRequest::from_user(user));
-                let cost = proxy.processing_cost(&decision);
-                let shadows = decision.shadows.iter().map(|s| s.target).collect();
-                (decision.primary, shadows, cost)
-            }
-        }
+        route_via_proxy(
+            self.proxy_deployment,
+            self.search_proxy.as_ref(),
+            self.topology.search_stable,
+            user,
+        )
     }
 
     /// Executes the duplicated work of a dark-launched product request.
@@ -535,6 +515,32 @@ impl CaseStudyApp {
             .version(version)
             .map(|v| v.name())
             .unwrap_or("unknown")
+    }
+}
+
+/// Routes one request through a service's Bifrost proxy — the same
+/// decision + cost pipeline ([`bifrost_proxy::BifrostProxy::route_costed`])
+/// the engine's traffic simulation drives in batches. Returns the serving
+/// version, the dark-launch shadow targets, and the proxy's CPU cost.
+fn route_via_proxy(
+    deployment: ProxyDeployment,
+    proxy: Option<&ProxyHandle>,
+    stable: VersionId,
+    user: UserId,
+) -> (VersionId, Vec<VersionId>, Duration) {
+    match (deployment, proxy) {
+        (ProxyDeployment::None, _) => (stable, Vec::new(), Duration::ZERO),
+        (ProxyDeployment::Deployed, None) => (
+            stable,
+            Vec::new(),
+            bifrost_proxy::OverheadModel::default().passthrough_cost(),
+        ),
+        (ProxyDeployment::Deployed, Some(handle)) => {
+            let (decision, cost): (RoutingDecision, Duration) =
+                handle.write().route_costed(&ProxyRequest::from_user(user));
+            let shadows = decision.shadows.iter().map(|s| s.target).collect();
+            (decision.primary, shadows, cost)
+        }
     }
 }
 

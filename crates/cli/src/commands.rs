@@ -59,8 +59,9 @@ USAGE:
     bifrost run <strategy.yml> [--verbose] [--deadline <secs>]
                                         enact the strategy against the simulated deployment
     bifrost demo [--verbose]            run the product-replacement evaluation scenario
-    bifrost bench [--fig <fig6|fig7|fig9>] [--trials N] [--threads M]
-                  [--base-seed S] [--max N] [--quick] [--json <out.json>]
+    bifrost bench [--fig <fig6|fig7|fig9|traffic>] [--trials N] [--threads M]
+                  [--base-seed S] [--max N] [--requests N] [--quick]
+                  [--json <out.json>]
                                         run a paper figure as a multi-trial parallel
                                         experiment with deterministic per-trial seeds
     bifrost help                        show this message";
@@ -104,6 +105,8 @@ pub enum Command {
         base_seed: u64,
         /// Sweep bound for the engine-scalability figures.
         max: Option<usize>,
+        /// Request volume for the traffic figure.
+        requests: Option<usize>,
         /// Use the compressed (quick) timeline.
         quick: bool,
         /// Write the machine-readable report to this path.
@@ -175,6 +178,7 @@ impl Command {
                 let mut threads = 1usize;
                 let mut base_seed = Seed::DEFAULT.value();
                 let mut max = None;
+                let mut requests = None;
                 let mut quick = false;
                 let mut json = None;
                 let mut i = 0;
@@ -190,6 +194,9 @@ impl Command {
                         "--threads" => threads = take(&mut i)?.parse().map_err(|_| usage())?,
                         "--base-seed" => base_seed = take(&mut i)?.parse().map_err(|_| usage())?,
                         "--max" => max = Some(take(&mut i)?.parse().map_err(|_| usage())?),
+                        "--requests" => {
+                            requests = Some(take(&mut i)?.parse().map_err(|_| usage())?)
+                        }
                         "--quick" => quick = true,
                         "--json" => json = Some(PathBuf::from(take(&mut i)?)),
                         _ => return Err(usage()),
@@ -202,6 +209,7 @@ impl Command {
                     threads,
                     base_seed,
                     max,
+                    requests,
                     quick,
                     json,
                 })
@@ -280,6 +288,7 @@ pub fn run_command(command: &Command) -> Result<CommandOutput, CliError> {
             threads,
             base_seed,
             max,
+            requests,
             quick,
             json,
         } => run_bench(
@@ -289,6 +298,7 @@ pub fn run_command(command: &Command) -> Result<CommandOutput, CliError> {
                 .with_threads(*threads)
                 .with_base_seed(Seed::new(*base_seed)),
             *max,
+            *requests,
             *quick,
             json.as_deref(),
         ),
@@ -301,10 +311,11 @@ fn run_bench(
     figure: &str,
     config: RunnerConfig,
     max: Option<usize>,
+    requests: Option<usize>,
     quick: bool,
     json: Option<&std::path::Path>,
 ) -> Result<CommandOutput, CliError> {
-    let report = suite::run_figure(figure, quick, max, &config).ok_or_else(|| {
+    let report = suite::run_figure(figure, quick, max, requests, &config).ok_or_else(|| {
         CliError::Usage(format!(
             "unknown figure '{figure}' (expected one of: {})\n\n{USAGE}",
             suite::FIGURES.join(", ")
@@ -543,6 +554,7 @@ strategy:
                 threads: 1,
                 base_seed: 42,
                 max: None,
+                requests: None,
                 quick: false,
                 json: None,
             }
@@ -560,6 +572,8 @@ strategy:
                 "7",
                 "--max",
                 "80",
+                "--requests",
+                "5000",
                 "--quick",
                 "--json",
                 "out.json",
@@ -571,6 +585,7 @@ strategy:
                 threads: 2,
                 base_seed: 7,
                 max: Some(80),
+                requests: Some(5_000),
                 quick: true,
                 json: Some("out.json".into()),
             }
@@ -591,6 +606,7 @@ strategy:
             threads: 2,
             base_seed: 7,
             max: Some(8),
+            requests: None,
             quick: true,
             json: Some(json.clone()),
         })
@@ -610,11 +626,30 @@ strategy:
             threads: 1,
             base_seed: 42,
             max: None,
+            requests: None,
             quick: true,
             json: None,
         })
         .unwrap_err();
         assert!(err.to_string().contains("unknown figure"));
+    }
+
+    #[test]
+    fn bench_traffic_figure_runs_with_request_override() {
+        let output = run_command(&Command::Bench {
+            figure: "traffic".into(),
+            trials: 1,
+            threads: 1,
+            base_seed: 42,
+            max: None,
+            requests: Some(2_000),
+            quick: true,
+            json: None,
+        })
+        .unwrap();
+        assert_eq!(output.exit_code, 0);
+        assert!(output.text.contains("latency/mean_ms"), "{}", output.text);
+        assert!(output.text.contains("split/abs_error_pct"));
     }
 
     #[test]

@@ -6,6 +6,7 @@ use crate::events::{EngineEvent, EventLog, EventQueue};
 use crate::execution::StrategyExecution;
 use crate::proxies::{ProxyFleet, ProxyHandle};
 use crate::report::StrategyReport;
+use crate::traffic::{TrafficHandle, TrafficProfile, TrafficStats, TrafficStream};
 use bifrost_core::ids::{CheckId, ServiceId, StateId, StrategyId, VersionId};
 use bifrost_core::seed::Seed;
 use bifrost_core::strategy::Strategy;
@@ -89,6 +90,8 @@ enum EngineAction {
     },
     /// Sample the engine's CPU utilisation.
     SampleUtilization,
+    /// Route one tick's batch of a traffic stream through the proxy fleet.
+    TrafficTick { stream: usize, batch: usize },
 }
 
 /// The Bifrost engine.
@@ -99,12 +102,20 @@ pub struct BifrostEngine {
     providers: ProviderRegistry,
     proxies: ProxyFleet,
     executions: BTreeMap<StrategyId, StrategyExecution>,
+    traffic: Vec<TrafficStream>,
+    /// One proxy-VM CPU per service carrying traffic: streams targeting the
+    /// same service contend for the same cores.
+    traffic_cpus: BTreeMap<ServiceId, CpuResource>,
     events: EventLog,
     next_strategy_id: u64,
     /// Number of scheduled strategies that have not reached a final state.
     /// Kept in sync by `schedule` / `finish_strategy` so the run loops'
     /// completion test is O(1) instead of a scan over every execution.
     unfinished: usize,
+    /// Number of scheduled traffic ticks not yet processed, so
+    /// `run_to_completion` drains attached traffic instead of abandoning
+    /// it the moment the last strategy finishes.
+    pending_traffic_ticks: usize,
     utilization_trace: Vec<(SimTime, f64)>,
     utilization_sampling_started: bool,
 }
@@ -119,9 +130,12 @@ impl BifrostEngine {
             providers: ProviderRegistry::new(),
             proxies: ProxyFleet::new(),
             executions: BTreeMap::new(),
+            traffic: Vec::new(),
+            traffic_cpus: BTreeMap::new(),
             events: EventLog::new(),
             next_strategy_id: 0,
             unfinished: 0,
+            pending_traffic_ticks: 0,
             utilization_trace: Vec::new(),
             utilization_sampling_started: false,
         }
@@ -156,6 +170,50 @@ impl BifrostEngine {
     /// The proxy handle of a service, if registered.
     pub fn proxy(&self, service: ServiceId) -> Option<ProxyHandle> {
         self.proxies.handle(service)
+    }
+
+    /// Attaches a request-level traffic stream: the profile's arrival plan
+    /// is materialised from the engine seed, batched per virtual-time tick,
+    /// and every batch is routed through the target service's proxy as the
+    /// engine advances — recording the observed per-version series into
+    /// `store` (register the same store as a provider so checks see them).
+    /// Returns a handle for querying the stream's statistics.
+    ///
+    /// Streams targeting the same service share that service's proxy-VM
+    /// CPU (the first attached profile sizes it), so concurrent streams
+    /// contend realistically. Give each stream a distinct service label
+    /// when recording into the same store — two recorders publishing under
+    /// one label would interleave their independent cumulative totals into
+    /// the same counter series.
+    pub fn attach_traffic(
+        &mut self,
+        profile: TrafficProfile,
+        store: SharedMetricStore,
+    ) -> TrafficHandle {
+        let index = self.traffic.len();
+        let stream = TrafficStream::new(profile, index, self.config.seed, store);
+        self.traffic_cpus
+            .entry(stream.service())
+            .or_insert_with(|| CpuResource::new(stream.cores()));
+        let tick_times = stream.batch_times();
+        self.pending_traffic_ticks += tick_times.len();
+        self.queue
+            .schedule_batch(tick_times.into_iter().enumerate().map(|(batch, at)| {
+                (
+                    at,
+                    EngineAction::TrafficTick {
+                        stream: index,
+                        batch,
+                    },
+                )
+            }));
+        self.traffic.push(stream);
+        TrafficHandle(index)
+    }
+
+    /// The accumulated statistics of an attached traffic stream.
+    pub fn traffic_stats(&self, handle: TrafficHandle) -> Option<&TrafficStats> {
+        self.traffic.get(handle.0).map(TrafficStream::stats)
     }
 
     /// Schedules a strategy to start at `start_at`. Returns a handle for
@@ -248,12 +306,13 @@ impl BifrostEngine {
         processed
     }
 
-    /// Runs the engine until every scheduled strategy has finished or
-    /// `deadline` is reached, whichever comes first.
+    /// Runs the engine until every scheduled strategy has finished and
+    /// every attached traffic tick has been routed, or `deadline` is
+    /// reached, whichever comes first.
     pub fn run_to_completion(&mut self, deadline: SimTime) -> u64 {
         self.start_utilization_sampling();
         let mut processed = 0;
-        while self.unfinished > 0 {
+        while self.unfinished > 0 || self.pending_traffic_ticks > 0 {
             match self.queue.pop_until(deadline) {
                 Some(due) => {
                     processed += 1;
@@ -271,7 +330,11 @@ impl BifrostEngine {
                 let utilization = self.cpu.sample_utilization(at);
                 self.utilization_trace.push((at, utilization));
                 let next = at + self.config.utilization_sample_interval;
-                if next <= deadline && !(self.unfinished == 0 && self.queue.is_empty()) {
+                if next <= deadline
+                    && !(self.unfinished == 0
+                        && self.pending_traffic_ticks == 0
+                        && self.queue.is_empty())
+                {
                     self.queue
                         .schedule_at(next, EngineAction::SampleUtilization);
                 }
@@ -288,7 +351,26 @@ impl BifrostEngine {
                 state,
                 generation,
             } => self.state_deadline(strategy, state, generation, at),
+            EngineAction::TrafficTick { stream, batch } => self.traffic_tick(stream, batch, at),
         }
+    }
+
+    /// Routes one traffic tick's batch through the target service's proxy.
+    /// Streams whose service has no registered proxy are skipped (like
+    /// rules for unregistered services).
+    fn traffic_tick(&mut self, stream: usize, batch: usize, at: SimTime) {
+        self.pending_traffic_ticks = self.pending_traffic_ticks.saturating_sub(1);
+        let Some(traffic) = self.traffic.get_mut(stream) else {
+            return;
+        };
+        let Some(proxy) = self.proxies.handle(traffic.service()) else {
+            return;
+        };
+        let cpu = self
+            .traffic_cpus
+            .get_mut(&traffic.service())
+            .expect("registered at attach");
+        traffic.route_batch(batch, &proxy, cpu, at);
     }
 
     fn start_strategy(&mut self, strategy: StrategyId, at: SimTime) {

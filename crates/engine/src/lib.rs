@@ -53,6 +53,7 @@ pub mod events;
 pub mod execution;
 pub mod proxies;
 pub mod report;
+pub mod traffic;
 
 pub use cost::EngineCostModel;
 pub use engine::{BifrostEngine, EngineConfig, StrategyHandle};
@@ -60,6 +61,7 @@ pub use events::{DueAction, EngineEvent, EventLog, EventQueue};
 pub use execution::{CheckProgress, ExecutionStatus, StrategyExecution};
 pub use proxies::{ProxyFleet, ProxyHandle};
 pub use report::StrategyReport;
+pub use traffic::{BackendProfile, TrafficHandle, TrafficProfile, TrafficStats};
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -69,4 +71,5 @@ pub mod prelude {
     pub use crate::execution::{CheckProgress, ExecutionStatus, StrategyExecution};
     pub use crate::proxies::{ProxyFleet, ProxyHandle};
     pub use crate::report::StrategyReport;
+    pub use crate::traffic::{BackendProfile, TrafficHandle, TrafficProfile, TrafficStats};
 }

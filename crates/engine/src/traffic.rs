@@ -1,0 +1,455 @@
+//! Request-level traffic simulation: live traffic through the proxy fleet.
+//!
+//! The paper's core claim is that strategies are enacted *over live
+//! traffic*: proxies split, stick, and shadow real requests while
+//! metric-based checks decide state transitions. This module is the
+//! substrate that makes the simulated engine do the same. A
+//! [`TrafficProfile`] attaches a [`bifrost_workload::LoadProfile`] to a
+//! service; the engine materialises the arrival plan from its seed, groups
+//! the arrivals into per-tick batches ([`bifrost_workload::ArrivalPlan::batches`]),
+//! and schedules one `TrafficTick` engine event per non-empty tick. Each
+//! tick routes its batch through the service's proxy in one lock
+//! acquisition ([`bifrost_proxy::BifrostProxy::route_many_costed`] — the
+//! compiled-config hot path), charges every request's routing cost to the
+//! proxy's own CPU, models the serving version's backend latency and error
+//! rate, and records the observed outcomes into the shared metric store via
+//! [`bifrost_metrics::TrafficSeriesRecorder`] — so checks evaluate traffic
+//! the proxies actually routed instead of hand-injected samples.
+//!
+//! Everything derives from the engine seed: an N-thread multi-trial run
+//! produces byte-identical traffic statistics to a 1-thread run.
+
+use bifrost_core::ids::{ServiceId, VersionId};
+use bifrost_core::seed::Seed;
+use bifrost_metrics::{SharedMetricStore, TrafficSeriesRecorder};
+use bifrost_proxy::ProxyRequest;
+use bifrost_simnet::{CpuResource, SimRng, SimTime};
+use bifrost_workload::{ArrivalPlan, LoadProfile};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use crate::proxies::ProxyHandle;
+
+/// The backend behaviour of one service version under traffic: how long the
+/// version takes to serve a request and how often it fails. This is the
+/// traffic pipeline's stand-in for a full application model — enough for
+/// checks to observe latency and error-rate differences between versions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendProfile {
+    /// Mean service time of one request.
+    pub service_time: Duration,
+    /// Probability that a request served by this version fails.
+    pub error_rate: f64,
+}
+
+impl Default for BackendProfile {
+    fn default() -> Self {
+        Self {
+            service_time: Duration::from_millis(10),
+            error_rate: 0.0,
+        }
+    }
+}
+
+impl BackendProfile {
+    /// A healthy backend with the given mean service time.
+    pub fn healthy(service_time: Duration) -> Self {
+        Self {
+            service_time,
+            error_rate: 0.0,
+        }
+    }
+
+    /// A defective backend: slow and failing at `error_rate`.
+    pub fn defective(service_time: Duration, error_rate: f64) -> Self {
+        Self {
+            service_time,
+            error_rate: error_rate.clamp(0.0, 1.0),
+        }
+    }
+}
+
+/// A request-level traffic profile attached to one service's proxy.
+#[derive(Debug, Clone)]
+pub struct TrafficProfile {
+    service: ServiceId,
+    load: LoadProfile,
+    tick: Duration,
+    cores: usize,
+    service_label: String,
+    backends: BTreeMap<VersionId, BackendProfile>,
+    version_labels: BTreeMap<VersionId, String>,
+    default_backend: BackendProfile,
+}
+
+impl TrafficProfile {
+    /// Creates a profile driving `load` through the proxy of `service`,
+    /// batched per 1-second virtual tick on a single-core proxy VM.
+    pub fn new(service: ServiceId, load: LoadProfile) -> Self {
+        Self {
+            service,
+            load,
+            tick: Duration::from_secs(1),
+            cores: 1,
+            service_label: format!("{service}"),
+            backends: BTreeMap::new(),
+            version_labels: BTreeMap::new(),
+            default_backend: BackendProfile::default(),
+        }
+    }
+
+    /// Overrides the batching tick (builder style). Smaller ticks observe
+    /// configuration changes sooner; larger ticks process fewer, bigger
+    /// batches.
+    pub fn with_tick(mut self, tick: Duration) -> Self {
+        self.tick = tick.max(Duration::from_micros(1));
+        self
+    }
+
+    /// Overrides the proxy VM's core count (builder style).
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores.max(1);
+        self
+    }
+
+    /// Overrides the `service` label used in recorded series (builder
+    /// style). Defaults to the service id's rendering.
+    pub fn with_service_label(mut self, label: impl Into<String>) -> Self {
+        self.service_label = label.into();
+        self
+    }
+
+    /// Sets a version's backend behaviour and, for recorded series, its
+    /// `version` label (builder style).
+    pub fn with_backend(
+        mut self,
+        version: VersionId,
+        label: impl Into<String>,
+        backend: BackendProfile,
+    ) -> Self {
+        self.backends.insert(version, backend);
+        self.version_labels.insert(version, label.into());
+        self
+    }
+
+    /// Overrides the backend used for versions without an explicit profile
+    /// (builder style).
+    pub fn with_default_backend(mut self, backend: BackendProfile) -> Self {
+        self.default_backend = backend;
+        self
+    }
+
+    /// The service whose proxy the traffic flows through.
+    pub fn service(&self) -> ServiceId {
+        self.service
+    }
+
+    /// The load profile.
+    pub fn load(&self) -> &LoadProfile {
+        &self.load
+    }
+
+    /// The batching tick.
+    pub fn tick(&self) -> Duration {
+        self.tick
+    }
+
+    fn backend_of(&self, version: VersionId) -> BackendProfile {
+        self.backends
+            .get(&version)
+            .copied()
+            .unwrap_or(self.default_backend)
+    }
+}
+
+/// Aggregate statistics of one traffic stream, maintained as batches are
+/// routed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrafficStats {
+    /// Total requests routed.
+    pub requests: u64,
+    /// Requests that failed (drawn from the serving version's error rate).
+    pub errors: u64,
+    /// Dark-launch shadow copies produced.
+    pub shadow_copies: u64,
+    /// Primary requests per version.
+    pub per_version: BTreeMap<VersionId, u64>,
+    /// Shadow copies per target version.
+    pub shadow_per_version: BTreeMap<VersionId, u64>,
+    /// Number of ticks processed.
+    pub ticks: u64,
+    /// Sum of end-to-end latencies in milliseconds (for the mean).
+    pub total_latency_ms: f64,
+    /// Every request's end-to-end latency in milliseconds, in arrival order
+    /// (for percentiles).
+    pub latencies_ms: Vec<f64>,
+    /// Total proxy CPU demand this stream's requests contributed
+    /// (queueing excluded; shared-proxy contention shows up in latency).
+    pub proxy_busy: Duration,
+}
+
+impl TrafficStats {
+    /// Mean end-to-end latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.total_latency_ms / self.requests as f64
+    }
+
+    /// The `q`-quantile (0.0..=1.0) of end-to-end latency in milliseconds.
+    /// O(n) selection on a scratch copy rather than a full sort.
+    pub fn latency_quantile_ms(&self, q: f64) -> f64 {
+        if self.latencies_ms.is_empty() {
+            return 0.0;
+        }
+        let mut scratch = self.latencies_ms.clone();
+        let rank = (q.clamp(0.0, 1.0) * (scratch.len() - 1) as f64).round() as usize;
+        let (_, value, _) = scratch.select_nth_unstable_by(rank, f64::total_cmp);
+        *value
+    }
+
+    /// The fraction of primary traffic served by `version`.
+    pub fn share_of(&self, version: VersionId) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        *self.per_version.get(&version).unwrap_or(&0) as f64 / self.requests as f64
+    }
+
+    /// The fraction of requests that produced at least one shadow copy
+    /// (assuming at most one shadow rule, copies == shadowed requests).
+    pub fn shadow_share(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.shadow_copies as f64 / self.requests as f64
+    }
+
+    /// Average proxy CPU milliseconds spent per routed request.
+    pub fn proxy_cpu_ms_per_request(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        self.proxy_busy.as_secs_f64() * 1_000.0 / self.requests as f64
+    }
+}
+
+/// A handle identifying one attached traffic stream within an engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TrafficHandle(pub(crate) usize);
+
+impl fmt::Display for TrafficHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "traffic-{}", self.0)
+    }
+}
+
+/// One attached traffic stream: the materialised arrival plan, its batch
+/// index, the seeded RNG for backend behaviour, and the recorder feeding
+/// the metric store. The proxy VM's CPU is *not* part of the stream — the
+/// engine keys one [`CpuResource`] per service, so concurrent streams
+/// through the same proxy contend for the same cores.
+pub(crate) struct TrafficStream {
+    profile: TrafficProfile,
+    arrivals: ArrivalPlan,
+    /// `(tick end, start index, end index)` per non-empty tick, precomputed
+    /// from [`ArrivalPlan::batches`] so each engine event is a slice lookup.
+    batches: Vec<(SimTime, usize, usize)>,
+    rng: SimRng,
+    recorder: TrafficSeriesRecorder,
+    stats: TrafficStats,
+    /// Scratch buffer reused across ticks to build the batch's requests.
+    scratch: Vec<ProxyRequest>,
+    /// Version → series label, pre-resolved so the per-request loop never
+    /// allocates for label bookkeeping. Versions the profile did not name
+    /// are added on first sight with their id rendering.
+    labels: BTreeMap<VersionId, String>,
+}
+
+impl TrafficStream {
+    /// Materialises a stream from its profile and the engine seed. The
+    /// arrival plan derives from the seed's `"traffic"` stream (namespaced
+    /// by stream index so two streams never replay the same sequence).
+    pub(crate) fn new(
+        profile: TrafficProfile,
+        index: usize,
+        seed: Seed,
+        store: SharedMetricStore,
+    ) -> Self {
+        let stream_seed = seed.stream(&format!("traffic-{index}"));
+        let arrivals = profile.load.plan_seeded(stream_seed);
+        // Batches partition the plan in order, so index ranges follow from a
+        // running cursor over the batch sizes.
+        let mut cursor = 0usize;
+        let batches = arrivals
+            .batches(profile.tick)
+            .map(|batch| {
+                let start = cursor;
+                cursor += batch.arrivals.len();
+                (batch.end, start, cursor)
+            })
+            .collect();
+        let mut recorder = TrafficSeriesRecorder::new(store, profile.service_label.clone());
+        recorder.register_versions(
+            profile.version_labels.values().map(String::as_str),
+            SimTime::ZERO.to_timestamp(),
+        );
+        Self {
+            rng: SimRng::seeded(stream_seed.stream("backends").value()),
+            recorder,
+            arrivals,
+            batches,
+            labels: profile.version_labels.clone(),
+            profile,
+            stats: TrafficStats::default(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// The service this stream targets.
+    pub(crate) fn service(&self) -> ServiceId {
+        self.profile.service
+    }
+
+    /// The proxy VM core count this stream's profile asks for.
+    pub(crate) fn cores(&self) -> usize {
+        self.profile.cores
+    }
+
+    /// The tick end times of every non-empty batch, for scheduling.
+    pub(crate) fn batch_times(&self) -> Vec<SimTime> {
+        self.batches.iter().map(|(end, _, _)| *end).collect()
+    }
+
+    /// The aggregate statistics so far.
+    pub(crate) fn stats(&self) -> &TrafficStats {
+        &self.stats
+    }
+
+    /// Routes the `batch`-th tick's arrivals through `proxy` at virtual
+    /// time `at` (the tick's window end), charging routing cost to the
+    /// service's shared proxy `cpu`, and records the outcomes.
+    pub(crate) fn route_batch(
+        &mut self,
+        batch: usize,
+        proxy: &ProxyHandle,
+        cpu: &mut CpuResource,
+        at: SimTime,
+    ) {
+        let Some(&(_, start, end)) = self.batches.get(batch) else {
+            return;
+        };
+        let arrivals = &self.arrivals.arrivals()[start..end];
+        self.scratch.clear();
+        self.scratch.extend(
+            arrivals
+                .iter()
+                .map(|arrival| ProxyRequest::from_user(arrival.user)),
+        );
+        // One proxy lock (and one compiled-config resolution) per batch.
+        let routed = proxy.write().route_many_costed(self.scratch.iter());
+        for (arrival, (decision, cost)) in arrivals.iter().zip(&routed) {
+            let receipt = cpu.submit(arrival.at, *cost);
+            self.stats.proxy_busy += *cost;
+            let backend = self.profile.backend_of(decision.primary);
+            // Backend latency: the version's mean service time with a ±10%
+            // deterministic jitter so latency series are not flat lines.
+            let service_ms =
+                backend.service_time.as_secs_f64() * 1_000.0 * (0.9 + 0.2 * self.rng.uniform());
+            let latency_ms = (receipt.completed - arrival.at).as_secs_f64() * 1_000.0 + service_ms;
+            let success = !self.rng.chance(backend.error_rate);
+
+            self.stats.requests += 1;
+            if !success {
+                self.stats.errors += 1;
+            }
+            *self.stats.per_version.entry(decision.primary).or_insert(0) += 1;
+            self.stats.total_latency_ms += latency_ms;
+            self.stats.latencies_ms.push(latency_ms);
+            let label = self
+                .labels
+                .entry(decision.primary)
+                .or_insert_with(|| decision.primary.to_string());
+            self.recorder.observe_request(label, latency_ms, success);
+            for shadow in &decision.shadows {
+                self.stats.shadow_copies += 1;
+                *self
+                    .stats
+                    .shadow_per_version
+                    .entry(shadow.target)
+                    .or_insert(0) += 1;
+                let label = self
+                    .labels
+                    .entry(shadow.target)
+                    .or_insert_with(|| shadow.target.to_string());
+                self.recorder.observe_shadow(label);
+            }
+        }
+        self.stats.ticks += 1;
+        // Drain the CPU's utilisation-sampling intervals: nothing samples
+        // the traffic CPUs, and without the drain the interval list grows
+        // by one entry per routed request.
+        let _ = cpu.sample_utilization(at);
+        self.recorder.flush(at.to_timestamp());
+    }
+}
+
+impl fmt::Debug for TrafficStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TrafficStream")
+            .field("service", &self.profile.service)
+            .field("batches", &self.batches.len())
+            .field("requests", &self.stats.requests)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bifrost_workload::LoadProfile;
+
+    #[test]
+    fn backend_profiles_clamp_and_default() {
+        let healthy = BackendProfile::healthy(Duration::from_millis(5));
+        assert_eq!(healthy.error_rate, 0.0);
+        let bad = BackendProfile::defective(Duration::from_millis(50), 7.0);
+        assert_eq!(bad.error_rate, 1.0);
+        assert_eq!(
+            BackendProfile::default().service_time,
+            Duration::from_millis(10)
+        );
+    }
+
+    #[test]
+    fn profile_builders() {
+        let service = ServiceId::new(3);
+        let v = VersionId::new(1);
+        let profile =
+            TrafficProfile::new(service, LoadProfile::paper_profile(Duration::from_secs(10)))
+                .with_tick(Duration::from_millis(500))
+                .with_cores(2)
+                .with_service_label("search")
+                .with_backend(v, "v1", BackendProfile::healthy(Duration::from_millis(4)))
+                .with_default_backend(BackendProfile::healthy(Duration::from_millis(9)));
+        assert_eq!(profile.service(), service);
+        assert_eq!(profile.tick(), Duration::from_millis(500));
+        assert_eq!(profile.backend_of(v).service_time, Duration::from_millis(4));
+        assert_eq!(
+            profile.backend_of(VersionId::new(9)).service_time,
+            Duration::from_millis(9)
+        );
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let stats = TrafficStats::default();
+        assert_eq!(stats.mean_latency_ms(), 0.0);
+        assert_eq!(stats.latency_quantile_ms(0.95), 0.0);
+        assert_eq!(stats.share_of(VersionId::new(0)), 0.0);
+        assert_eq!(stats.shadow_share(), 0.0);
+        assert_eq!(stats.proxy_cpu_ms_per_request(), 0.0);
+    }
+}

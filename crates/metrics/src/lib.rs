@@ -40,6 +40,7 @@ pub mod series;
 pub mod significance;
 pub mod stats;
 pub mod store;
+pub mod traffic;
 
 pub use collector::{ResourceCollector, ResourceSample};
 pub use provider::{MetricsProvider, ProviderRegistry, StoreProvider};
@@ -52,6 +53,7 @@ pub use significance::{
 };
 pub use stats::{bin_average, moving_average, DistributionSummary, SummaryStats};
 pub use store::{MetricStore, SharedMetricStore};
+pub use traffic::TrafficSeriesRecorder;
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -66,4 +68,5 @@ pub mod prelude {
     };
     pub use crate::stats::{bin_average, moving_average, DistributionSummary, SummaryStats};
     pub use crate::store::{MetricStore, SharedMetricStore};
+    pub use crate::traffic::TrafficSeriesRecorder;
 }

@@ -114,6 +114,16 @@ impl SharedMetricStore {
         self.inner.write().increment(key, at, delta);
     }
 
+    /// Records a batch of samples under a single write lock — the bulk path
+    /// used by per-tick traffic recording, where taking the lock per sample
+    /// would dominate.
+    pub fn record_many(&self, samples: impl IntoIterator<Item = (SeriesKey, Sample)>) {
+        let mut store = self.inner.write();
+        for (key, sample) in samples {
+            store.record(key, sample);
+        }
+    }
+
     /// Evaluates a query at `now`.
     pub fn evaluate(&self, query: &RangeQuery, now: TimestampMs) -> Option<f64> {
         self.inner.read().evaluate(query, now)
@@ -223,6 +233,29 @@ mod tests {
         let removed = store.prune(TimestampMs::from_secs(10), Duration::from_secs(3));
         assert_eq!(removed, 14);
         assert_eq!(store.sample_count(), 6);
+    }
+
+    #[test]
+    fn record_many_matches_individual_records() {
+        let bulk = SharedMetricStore::new();
+        let single = SharedMetricStore::new();
+        let samples: Vec<(SeriesKey, Sample)> = (0..10)
+            .map(|t| {
+                (
+                    key(if t % 2 == 0 {
+                        "search:80"
+                    } else {
+                        "product:80"
+                    }),
+                    Sample::new(TimestampMs::from_secs(t), t as f64),
+                )
+            })
+            .collect();
+        for (k, s) in &samples {
+            single.record(k.clone(), *s);
+        }
+        bulk.record_many(samples);
+        assert_eq!(bulk.snapshot(), single.snapshot());
     }
 
     #[test]

@@ -18,10 +18,10 @@
 use crate::config::{ProxyConfig, ProxyRule};
 use crate::overhead::OverheadModel;
 use crate::request::{ProxyRequest, RoutingDecision, ShadowCopy};
-use crate::session::{SessionStore, SessionToken, TokenGenerator};
+use crate::session::{SessionStore, TokenGenerator};
 use bifrost_core::ids::{UserId, VersionId};
-use bifrost_core::routing::RoutingMode;
-use bifrost_core::user::User;
+use bifrost_core::routing::{DarkLaunchRoute, RoutingMode, TrafficSplit};
+use bifrost_core::user::{User, UserSelector};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -41,11 +41,80 @@ pub struct ProxyStats {
     pub sticky_hits: u64,
 }
 
+impl ProxyStats {
+    /// Folds one routing decision into the counters — the single
+    /// bookkeeping path shared by single-request and batch routing.
+    fn tally(&mut self, decision: &RoutingDecision) {
+        self.requests += 1;
+        self.shadow_copies += decision.shadows.len() as u64;
+        *self.per_version.entry(decision.primary).or_insert(0) += 1;
+        if decision.from_sticky_session {
+            self.sticky_hits += 1;
+        }
+    }
+}
+
+/// The split rule of a configuration, pre-resolved for the per-request hot
+/// path (no rule scanning, no `TrafficSplit` cloning per request).
+#[derive(Debug, Clone)]
+struct CompiledSplit {
+    split: TrafficSplit,
+    /// The split's versions in declaration order (header routing indexes
+    /// into this).
+    versions: Vec<VersionId>,
+    sticky: bool,
+    selector: UserSelector,
+    mode: RoutingMode,
+}
+
+/// A [`ProxyConfig`] compiled once per configuration push, so routing a
+/// request — and especially routing a *batch* of requests — performs no
+/// per-request config lookups.
+#[derive(Debug, Clone)]
+struct CompiledRules {
+    default_version: VersionId,
+    split: Option<CompiledSplit>,
+    shadows: Vec<DarkLaunchRoute>,
+}
+
+impl CompiledRules {
+    fn compile(config: &ProxyConfig) -> Self {
+        let split = config.split_rule().and_then(|rule| match rule {
+            ProxyRule::Split {
+                split,
+                sticky,
+                selector,
+                mode,
+            } => Some(CompiledSplit {
+                versions: split.versions().collect(),
+                split: split.clone(),
+                sticky: *sticky,
+                selector: selector.clone(),
+                mode: *mode,
+            }),
+            ProxyRule::Shadow { .. } => None,
+        });
+        let shadows = config
+            .shadow_rules()
+            .filter_map(|rule| match rule {
+                ProxyRule::Shadow { route } => Some(*route),
+                ProxyRule::Split { .. } => None,
+            })
+            .collect();
+        Self {
+            default_version: config.default_version(),
+            split,
+            shadows,
+        }
+    }
+}
+
 /// A Bifrost proxy instance fronting one service.
 #[derive(Debug)]
 pub struct BifrostProxy {
     name: String,
     config: ProxyConfig,
+    compiled: CompiledRules,
     sessions: SessionStore,
     tokens: TokenGenerator,
     overhead: OverheadModel,
@@ -61,6 +130,7 @@ impl BifrostProxy {
         });
         Self {
             name,
+            compiled: CompiledRules::compile(&config),
             config,
             sessions: SessionStore::new(),
             tokens: TokenGenerator::seeded(seed),
@@ -99,6 +169,7 @@ impl BifrostProxy {
     /// bindings are cleared because the new state defines new buckets.
     pub fn apply_config(&mut self, config: ProxyConfig) {
         self.sessions.clear();
+        self.compiled = CompiledRules::compile(&config);
         self.config = config;
         self.stats.config_updates += 1;
     }
@@ -117,59 +188,52 @@ impl BifrostProxy {
     /// evaluation (e.g. country filters). Without it only percentage/All
     /// selectors can match.
     pub fn route_user(&mut self, request: &ProxyRequest, user: Option<&User>) -> RoutingDecision {
-        self.stats.requests += 1;
-        let mut decision = match self.config.split_rule().cloned() {
-            None => RoutingDecision::to(self.config.default_version()),
-            Some(ProxyRule::Split {
-                split,
-                sticky,
-                selector,
-                mode,
-            }) => {
-                let selected = match (user, request.user) {
-                    (Some(user), _) => selector.selects(user),
-                    (None, Some(user_id)) => selector.selects(&User::new(user_id)),
-                    (None, None) => true,
-                };
-                if !selected {
-                    RoutingDecision::to(self.config.default_version())
-                } else {
-                    match mode {
-                        RoutingMode::HeaderBased => self.route_by_header(request, &split),
-                        RoutingMode::CookieBased => self.route_by_cookie(request, &split, sticky),
-                    }
-                }
-            }
-            Some(ProxyRule::Shadow { .. }) => RoutingDecision::to(self.config.default_version()),
-        };
-
-        for rule in self.config.shadow_rules() {
-            if let ProxyRule::Shadow { route } = rule {
-                if route.source == decision.primary || route.source == self.config.default_version()
-                {
-                    // Percentage-based duplication: hash the request's
-                    // session/user identity so the same share of traffic is
-                    // consistently duplicated.
-                    let draw = request
-                        .session_token()
-                        .map(SessionToken::bucket_draw)
-                        .or_else(|| request.user.map(user_draw))
-                        .unwrap_or(0.0);
-                    if draw < route.percentage.fraction() {
-                        decision.shadows.push(ShadowCopy {
-                            target: route.target,
-                        });
-                        self.stats.shadow_copies += 1;
-                    }
-                }
-            }
-        }
-
-        *self.stats.per_version.entry(decision.primary).or_insert(0) += 1;
-        if decision.from_sticky_session {
-            self.stats.sticky_hits += 1;
-        }
+        let decision = route_one(
+            &self.compiled,
+            &mut self.sessions,
+            &mut self.tokens,
+            request,
+            user,
+        );
+        self.stats.tally(&decision);
         decision
+    }
+
+    /// Routes one request and returns the decision together with its CPU
+    /// cost — one call for callers that apply both (the application
+    /// simulation and the traffic pipeline).
+    pub fn route_costed(&mut self, request: &ProxyRequest) -> (RoutingDecision, Duration) {
+        let decision = self.route(request);
+        let cost = self.processing_cost(&decision);
+        (decision, cost)
+    }
+
+    /// Routes a batch of requests through the compiled configuration and
+    /// returns one `(decision, CPU cost)` pair per request, in order.
+    ///
+    /// This is the hot path of the request-level traffic simulation: the
+    /// configuration is resolved once per push (see [`CompiledRules`]), the
+    /// output vector is allocated once for the whole batch, and callers
+    /// take the proxy lock once per batch instead of once per request.
+    pub fn route_many_costed<'a, I>(&mut self, requests: I) -> Vec<(RoutingDecision, Duration)>
+    where
+        I: IntoIterator<Item = &'a ProxyRequest>,
+    {
+        let requests = requests.into_iter();
+        let mut out = Vec::with_capacity(requests.size_hint().0);
+        for request in requests {
+            let decision = route_one(
+                &self.compiled,
+                &mut self.sessions,
+                &mut self.tokens,
+                request,
+                None,
+            );
+            self.stats.tally(&decision);
+            let cost = self.processing_cost(&decision);
+            out.push((decision, cost));
+        }
+        out
     }
 
     /// The CPU demand of processing one request under the current
@@ -178,70 +242,12 @@ impl BifrostProxy {
         if !self.is_active() {
             return self.overhead.passthrough_cost();
         }
-        let (mode, sticky) = match self.config.split_rule() {
-            Some(ProxyRule::Split { mode, sticky, .. }) => (*mode, *sticky),
-            _ => (RoutingMode::CookieBased, false),
+        let (mode, sticky) = match &self.compiled.split {
+            Some(rule) => (rule.mode, rule.sticky),
+            None => (RoutingMode::CookieBased, false),
         };
         self.overhead
             .request_cost(mode, sticky, decision.shadows.len())
-    }
-
-    fn route_by_header(
-        &mut self,
-        request: &ProxyRequest,
-        split: &bifrost_core::TrafficSplit,
-    ) -> RoutingDecision {
-        let versions: Vec<VersionId> = split.versions().collect();
-        let target = match request.group_header() {
-            Some("A") | Some("a") => versions.first().copied(),
-            Some("B") | Some("b") => versions.get(1).copied(),
-            Some(other) => other
-                .parse::<usize>()
-                .ok()
-                .and_then(|idx| versions.get(idx).copied()),
-            None => None,
-        };
-        RoutingDecision::to(target.unwrap_or(self.config.default_version()))
-    }
-
-    fn route_by_cookie(
-        &mut self,
-        request: &ProxyRequest,
-        split: &bifrost_core::TrafficSplit,
-        sticky: bool,
-    ) -> RoutingDecision {
-        // A returning client with a bound session keeps its version.
-        if sticky {
-            if let Some(token) = request.session_token() {
-                if let Some(version) = self.sessions.lookup(token) {
-                    let mut decision = RoutingDecision::to(version);
-                    decision.from_sticky_session = true;
-                    return decision;
-                }
-            }
-        }
-        // Otherwise bucket the client: prefer the session token (returning
-        // anonymous client), then the user id, then a fresh token.
-        let (token, draw) = match (request.session_token(), request.user) {
-            (Some(token), _) => (Some(token), token.bucket_draw()),
-            (None, Some(user)) => (None, user_draw(user)),
-            (None, None) => {
-                let token = self.tokens.next_token();
-                (Some(token), token.bucket_draw())
-            }
-        };
-        let version = split.pick(draw);
-        let mut decision = RoutingDecision::to(version);
-        if sticky {
-            let token = token.unwrap_or_else(|| self.tokens.next_token());
-            self.sessions.bind(token, version);
-            decision.set_cookie = Some(token);
-        } else if request.session_token().is_none() && request.user.is_none() {
-            // Non-sticky cookie routing still sets the re-identification
-            // cookie so that traffic shares stay consistent per client.
-            decision.set_cookie = token;
-        }
-        decision
     }
 
     /// Read access to the sticky-session table (for tests and dashboards).
@@ -250,13 +256,162 @@ impl BifrostProxy {
     }
 }
 
-/// Deterministically hashes a user id into `[0, 1)` for bucketing.
-fn user_draw(user: UserId) -> f64 {
-    let mut z = user.raw().wrapping_add(0x9E37_79B9_7F4A_7C15);
+/// Routes one request against a compiled configuration. Free function over
+/// disjoint proxy fields so batch callers borrow the compiled rules
+/// immutably while the session table and token generator stay mutable.
+fn route_one(
+    compiled: &CompiledRules,
+    sessions: &mut SessionStore,
+    tokens: &mut TokenGenerator,
+    request: &ProxyRequest,
+    user: Option<&User>,
+) -> RoutingDecision {
+    let mut decision = match &compiled.split {
+        None => RoutingDecision::to(compiled.default_version),
+        Some(rule) => {
+            let selected = match (user, request.user) {
+                (Some(user), _) => rule.selector.selects(user),
+                (None, Some(user_id)) => rule.selector.selects(&User::new(user_id)),
+                (None, None) => true,
+            };
+            if !selected {
+                RoutingDecision::to(compiled.default_version)
+            } else {
+                match rule.mode {
+                    RoutingMode::HeaderBased => route_by_header(compiled, rule, request),
+                    RoutingMode::CookieBased => route_by_cookie(rule, sessions, tokens, request),
+                }
+            }
+        }
+    };
+
+    if !compiled.shadows.is_empty() {
+        // Percentage-based duplication: one draw per request, hashed from
+        // the session/user identity so the same *clients* are consistently
+        // duplicated. Anonymous requests reuse the cookie the split path
+        // just minted, or mint the re-identification cookie here — never a
+        // constant draw (a constant 0.0 used to shadow *every* anonymous
+        // request regardless of the percentage). The hash is salted
+        // differently than the split-bucketing draw: with the same draw for
+        // both, "p% of the source's traffic" would silently become "the p%
+        // of clients with the lowest bucket draw", which a split correlates
+        // with the version assignment.
+        // The user id outranks the session cookie here (unlike split
+        // bucketing): an identified user keeps one shadow decision whether
+        // or not their request carries the sticky cookie minted later.
+        let identity = request
+            .user
+            .map(UserId::raw)
+            .or_else(|| request.session_token().map(|token| token.raw() as u64))
+            .or_else(|| decision.set_cookie.map(|token| token.raw() as u64));
+        let draw = match identity {
+            Some(bits) => shadow_draw(bits),
+            None => {
+                // Cookieless anonymous client under a shadow-only config:
+                // set the cookie so return visits keep the same draw.
+                let token = tokens.next_token();
+                decision.set_cookie = Some(token);
+                shadow_draw(token.raw() as u64)
+            }
+        };
+        for route in &compiled.shadows {
+            // Only traffic actually served by the route's source version is
+            // duplicated. (Also matching the default version used to inflate
+            // the shadow share: requests split onto *other* versions were
+            // duplicated whenever the rule's source was the default.)
+            if route.source == decision.primary && draw < route.percentage.fraction() {
+                decision.shadows.push(ShadowCopy {
+                    target: route.target,
+                });
+            }
+        }
+    }
+    decision
+}
+
+fn route_by_header(
+    compiled: &CompiledRules,
+    rule: &CompiledSplit,
+    request: &ProxyRequest,
+) -> RoutingDecision {
+    let versions = &rule.versions;
+    let target = match request.group_header() {
+        Some("A") | Some("a") => versions.first().copied(),
+        Some("B") | Some("b") => versions.get(1).copied(),
+        Some(other) => other
+            .parse::<usize>()
+            .ok()
+            .and_then(|idx| versions.get(idx).copied()),
+        None => None,
+    };
+    RoutingDecision::to(target.unwrap_or(compiled.default_version))
+}
+
+fn route_by_cookie(
+    rule: &CompiledSplit,
+    sessions: &mut SessionStore,
+    tokens: &mut TokenGenerator,
+    request: &ProxyRequest,
+) -> RoutingDecision {
+    // A returning client with a bound session keeps its version.
+    if rule.sticky {
+        if let Some(token) = request.session_token() {
+            if let Some(version) = sessions.lookup(token) {
+                let mut decision = RoutingDecision::to(version);
+                decision.from_sticky_session = true;
+                return decision;
+            }
+        }
+    }
+    // Otherwise bucket the client: prefer the session token (returning
+    // anonymous client), then the user id, then a fresh token.
+    let (token, draw) = match (request.session_token(), request.user) {
+        (Some(token), _) => (Some(token), token.bucket_draw()),
+        (None, Some(user)) => (None, user_draw(user)),
+        (None, None) => {
+            let token = tokens.next_token();
+            (Some(token), token.bucket_draw())
+        }
+    };
+    let version = rule.split.pick(draw);
+    let mut decision = RoutingDecision::to(version);
+    if rule.sticky {
+        let token = token.unwrap_or_else(|| tokens.next_token());
+        sessions.bind(token, version);
+        decision.set_cookie = Some(token);
+    } else if request.session_token().is_none() && request.user.is_none() {
+        // Non-sticky cookie routing still sets the re-identification
+        // cookie so that traffic shares stay consistent per client.
+        decision.set_cookie = token;
+    }
+    decision
+}
+
+/// Salt XORed into the identity for the dark-launch draw, decorrelating it
+/// from the split-bucketing draw over the same identity.
+const SHADOW_DRAW_SALT: u64 = 0x6C62_272E_07BB_0142;
+
+/// splitmix64-style finalizer mapping 64 identity bits to `[0, 1)`.
+fn mix_draw(bits: u64) -> f64 {
+    let mut z = bits.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^= z >> 31;
     (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministically hashes a user id into `[0, 1)` for bucketing.
+fn user_draw(user: UserId) -> f64 {
+    mix_draw(user.raw())
+}
+
+/// Deterministically hashes an identity into `[0, 1)` for the dark-launch
+/// draw. Salted so it is decorrelated from [`user_draw`] /
+/// [`SessionToken::bucket_draw`]: the same identity keeps a stable shadow
+/// decision across requests, but whether a client is shadowed is
+/// independent of which version the split bucketed it into.
+fn shadow_draw(identity: u64) -> f64 {
+    mix_draw(identity ^ SHADOW_DRAW_SALT)
 }
 
 #[cfg(test)]

@@ -33,9 +33,12 @@ impl SessionToken {
     /// A uniform draw in `[0, 1)` derived from the token, used to bucket the
     /// session into a traffic split consistently across requests.
     pub fn bucket_draw(self) -> f64 {
-        // Use the top 53 bits for a uniformly distributed double.
-        let top = (self.0 >> 75) as u64;
-        top as f64 / (1u64 << 53) as f64
+        // Use the low 53 bits for a uniformly distributed double. The top of
+        // the token is unusable: [`TokenGenerator::next_token`] stamps the
+        // RFC 4122 version nibble (bits 76–79) and variant bits (62–63) to
+        // constants, and a draw that includes them is biased.
+        let bits = (self.0 as u64) & ((1u64 << 53) - 1);
+        bits as f64 / (1u64 << 53) as f64
     }
 }
 
@@ -196,6 +199,20 @@ mod tests {
         assert!(draws.iter().all(|d| (0.0..1.0).contains(d)));
         let mean = draws.iter().sum::<f64>() / n as f64;
         assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bucket_draw_ignores_the_stamped_version_and_variant_bits() {
+        // Two tokens that differ only in the RFC 4122 version/variant bit
+        // positions must produce the same draw; two tokens that differ in the
+        // low (unstamped) bits must not.
+        let base = SessionToken::from_raw(0x0123_4567_89ab_cdef_0123_4567_89ab_cdef);
+        let version_bits = SessionToken::from_raw(base.raw() | (0xF_u128 << 76));
+        let variant_bits = SessionToken::from_raw(base.raw() | (0x3_u128 << 62));
+        assert_eq!(base.bucket_draw(), version_bits.bucket_draw());
+        assert_eq!(base.bucket_draw(), variant_bits.bucket_draw());
+        let low_bits = SessionToken::from_raw(base.raw() ^ 1);
+        assert_ne!(base.bucket_draw(), low_bits.bucket_draw());
     }
 
     #[test]

@@ -140,6 +140,19 @@ impl ArrivalPlan {
         self.arrivals.is_empty()
     }
 
+    /// Iterates the plan as per-tick batches: consecutive arrivals whose
+    /// timestamps fall into the same `tick`-sized window are grouped into
+    /// one [`ArrivalBatch`]. Empty windows are skipped. This is how the
+    /// engine's traffic simulation consumes a plan — one scheduler event
+    /// per non-empty tick instead of one per request.
+    pub fn batches(&self, tick: Duration) -> TickBatches<'_> {
+        TickBatches {
+            arrivals: &self.arrivals,
+            tick_micros: tick.as_micros().max(1) as u64,
+            cursor: 0,
+        }
+    }
+
     /// The average request rate over the window `[from, to)`.
     pub fn rate_between(&self, from: SimTime, to: SimTime) -> f64 {
         let window = (to - from).as_secs_f64();
@@ -152,6 +165,51 @@ impl ArrivalPlan {
             .filter(|a| a.at >= from && a.at < to)
             .count();
         count as f64 / window
+    }
+}
+
+/// One tick's worth of arrivals (see [`ArrivalPlan::batches`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrivalBatch<'a> {
+    /// The tick index (`floor(arrival time / tick)`), shared by every
+    /// arrival in the batch.
+    pub index: u64,
+    /// The end of the tick window (exclusive): all arrivals in the batch
+    /// have happened by this virtual time.
+    pub end: SimTime,
+    /// The arrivals of the tick, in time order.
+    pub arrivals: &'a [Arrival],
+}
+
+/// Iterator over the non-empty per-tick batches of an [`ArrivalPlan`].
+#[derive(Debug, Clone)]
+pub struct TickBatches<'a> {
+    arrivals: &'a [Arrival],
+    tick_micros: u64,
+    cursor: usize,
+}
+
+impl<'a> Iterator for TickBatches<'a> {
+    type Item = ArrivalBatch<'a>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let first = self.arrivals.get(self.cursor)?;
+        let index = first.at.as_micros() / self.tick_micros;
+        let start = self.cursor;
+        let mut end = self.cursor + 1;
+        while self
+            .arrivals
+            .get(end)
+            .is_some_and(|a| a.at.as_micros() / self.tick_micros == index)
+        {
+            end += 1;
+        }
+        self.cursor = end;
+        Some(ArrivalBatch {
+            index,
+            end: SimTime::from_micros((index + 1) * self.tick_micros),
+            arrivals: &self.arrivals[start..end],
+        })
     }
 }
 
@@ -239,6 +297,37 @@ mod tests {
             .iter()
             .all(|a| a.kind == RequestKind::Search));
         assert_eq!(plan.len(), plan.into_iter().count());
+    }
+
+    #[test]
+    fn batches_partition_the_plan_by_tick() {
+        let profile =
+            LoadProfile::paper_profile(Duration::from_secs(60)).with_poisson_arrivals(true);
+        let plan = profile.plan(&mut SimRng::seeded(9));
+        let tick = Duration::from_secs(1);
+        let batches: Vec<_> = plan.batches(tick).collect();
+        // Every arrival appears exactly once, in order.
+        let total: usize = batches.iter().map(|b| b.arrivals.len()).sum();
+        assert_eq!(total, plan.len());
+        // Tick indices are strictly increasing and each batch's arrivals fall
+        // inside its window.
+        assert!(batches.windows(2).all(|w| w[0].index < w[1].index));
+        for batch in &batches {
+            let start_us = batch.index * 1_000_000;
+            let end_us = (batch.index + 1) * 1_000_000;
+            assert_eq!(batch.end, SimTime::from_micros(end_us));
+            assert!(batch
+                .arrivals
+                .iter()
+                .all(|a| (start_us..end_us).contains(&a.at.as_micros())));
+        }
+        // A tick wider than the plan yields a single batch.
+        assert_eq!(plan.batches(Duration::from_secs(3_600)).count(), 1);
+        // An empty plan yields no batches.
+        let empty = ArrivalPlan {
+            arrivals: Vec::new(),
+        };
+        assert_eq!(empty.batches(tick).count(), 0);
     }
 
     #[test]
