@@ -62,7 +62,7 @@ fn bench_routing_modes(c: &mut Criterion) {
         ),
     ] {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            let mut proxy = proxy_with(mode, sticky, overhead);
+            let proxy = proxy_with(mode, sticky, overhead);
             let mut user = 0u64;
             b.iter(|| {
                 user = user.wrapping_add(1);

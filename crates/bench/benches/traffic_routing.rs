@@ -52,11 +52,11 @@ fn bench_batch_vs_serial(c: &mut Criterion) {
     let batch = requests(1_000);
     for (name, config) in configs() {
         c.bench_function(format!("route_many_costed/{name}/1k"), |b| {
-            let mut proxy = BifrostProxy::new("bench", config.clone());
+            let proxy = BifrostProxy::new("bench", config.clone());
             b.iter(|| criterion::black_box(proxy.route_many_costed(batch.iter()).len()));
         });
         c.bench_function(format!("route_serial/{name}/1k"), |b| {
-            let mut proxy = BifrostProxy::new("bench", config.clone());
+            let proxy = BifrostProxy::new("bench", config.clone());
             b.iter(|| {
                 let mut shadows = 0usize;
                 for request in &batch {

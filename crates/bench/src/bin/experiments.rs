@@ -28,9 +28,11 @@ use bifrost_bench::{fig6, fig7_fig8, fig9_fig10, table1};
 use bifrost_bench::{report, suite, BenchReport};
 use bifrost_core::seed::Seed;
 
-const USAGE: &str = "usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|traffic|all> \
+const USAGE: &str = "usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|traffic|sessions|all> \
 [--quick] [--max N] [--requests N] [--trials N] [--threads M] [--base-seed S] [--json [path]]\n       \
-experiments gate --candidate <report.json> --baseline <baseline.json> [--threshold 0.2]";
+experiments gate --candidate <report.json> --baseline <baseline.json> [--threshold 0.2]\n       \
+experiments list-points <figure>\n       \
+experiments check-baselines [dir]      validate every baseline*.json in dir (default crates/bench)";
 
 /// Parsed command-line options shared by the figure commands.
 struct Options {
@@ -128,9 +130,12 @@ fn run_single_trial(command: &str, options: &Options) {
 fn run_figure_command(command: &str, options: &Options) {
     // Multi-trial mode, an explicit JSON request, or an explicit seed goes
     // through the suite; the bare single-trial invocation keeps the
-    // original paper-shaped output. The traffic figure is suite-only (it
-    // has no paper-shaped legacy table).
-    if command == "traffic" || options.runner.trials > 1 || options.json.is_some() || options.seeded
+    // original paper-shaped output. The traffic and sessions figures are
+    // suite-only (they have no paper-shaped legacy table).
+    if matches!(command, "traffic" | "sessions")
+        || options.runner.trials > 1
+        || options.json.is_some()
+        || options.seeded
     {
         run_suite_figure(command, options);
     } else {
@@ -163,6 +168,79 @@ fn run_gate(args: &[String]) -> ! {
     std::process::exit(if result.passed() { 0 } else { 1 });
 }
 
+/// Validates every `baseline*.json` in `dir` (default `crates/bench`):
+/// each must parse as a bench report, name a figure the suite knows, and
+/// only contain point labels the suite can emit for that figure — so a
+/// renamed figure or point fails the lint job fast instead of silently
+/// skipping its regression gate. Exits non-zero on the first problem-set.
+fn run_check_baselines(dir: Option<&str>) -> ! {
+    let dir = dir.unwrap_or("crates/bench");
+    let entries = std::fs::read_dir(dir).unwrap_or_else(|error| {
+        eprintln!("cannot read baseline directory '{dir}': {error}");
+        std::process::exit(2);
+    });
+    let mut baselines = 0usize;
+    let mut problems = Vec::new();
+    let mut names: Vec<_> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.file_name()))
+        .filter_map(|name| name.into_string().ok())
+        .filter(|name| name.starts_with("baseline") && name.ends_with(".json"))
+        .collect();
+    names.sort();
+    for name in names {
+        baselines += 1;
+        let path = format!("{dir}/{name}");
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(error) => {
+                problems.push(format!("{path}: unreadable: {error}"));
+                continue;
+            }
+        };
+        let report = match BenchReport::parse(&text) {
+            Ok(report) => report,
+            Err(error) => {
+                problems.push(format!("{path}: invalid report: {error}"));
+                continue;
+            }
+        };
+        let Some(known) = suite::point_names(&report.figure) else {
+            problems.push(format!(
+                "{path}: figure '{}' is not in the suite",
+                report.figure
+            ));
+            continue;
+        };
+        if report.points.is_empty() {
+            problems.push(format!("{path}: no points — nothing would be gated"));
+        }
+        for point in &report.points {
+            if !known.contains(&point.point) {
+                problems.push(format!(
+                    "{path}: point '{}' is not emitted by figure '{}'",
+                    point.point, report.figure
+                ));
+            }
+        }
+        println!(
+            "checked {path} (figure {}, {} points)",
+            report.figure,
+            report.points.len()
+        );
+    }
+    if baselines == 0 {
+        problems.push(format!("no baseline*.json files found in '{dir}'"));
+    }
+    if problems.is_empty() {
+        println!("check-baselines: OK ({baselines} baseline files in sync with bench::suite)");
+        std::process::exit(0);
+    }
+    for problem in &problems {
+        eprintln!("check-baselines: {problem}");
+    }
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = args.first().map(String::as_str).unwrap_or("all");
@@ -174,18 +252,33 @@ fn main() {
             let rows = table1::run(options.quick);
             print!("{}", report::render_table1(&rows));
         }
-        "fig6" | "fig7" | "fig8" | "fig7_fig8" | "fig9" | "fig10" | "fig9_fig10" | "traffic" => {
+        "list-points" => {
+            let figure = args.get(1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("list-points requires a figure name\n{USAGE}");
+                std::process::exit(2);
+            });
+            let names = suite::point_names(figure).unwrap_or_else(|| {
+                eprintln!("unknown figure '{figure}'");
+                std::process::exit(2);
+            });
+            for name in names {
+                println!("{name}");
+            }
+        }
+        "check-baselines" => run_check_baselines(args.get(1).map(String::as_str)),
+        "fig6" | "fig7" | "fig8" | "fig7_fig8" | "fig9" | "fig10" | "fig9_fig10" | "traffic"
+        | "sessions" => {
             run_figure_command(command, &options);
         }
         "all" => {
             let mut options = options;
-            // One explicit --json path cannot hold three figures: fall back
-            // to the per-figure BENCH_<fig>.json names.
+            // One explicit --json path cannot hold several figures: fall
+            // back to the per-figure BENCH_<fig>.json names.
             if let Some(Some(path)) = &options.json {
                 eprintln!("note: 'all' ignores the explicit path '{path}' and writes BENCH_<fig>.json per figure");
                 options.json = Some(None);
             }
-            for figure in ["fig6", "fig7", "fig9", "traffic"] {
+            for figure in ["fig6", "fig7", "fig9", "traffic", "sessions"] {
                 run_figure_command(figure, &options);
             }
             let rows = table1::run(options.quick);

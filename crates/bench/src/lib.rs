@@ -13,6 +13,7 @@
 //! | Figure 9 (engine CPU vs parallel checks) | [`fig9_fig10::run`] |
 //! | Figure 10 (enactment delay vs parallel checks) | [`fig9_fig10::run`] |
 //! | `traffic` (request-level routing accuracy, latency, and per-request proxy CPU — no paper counterpart) | [`traffic_experiments::run_point_seeded`] |
+//! | `sessions` (sticky-routing throughput vs session-store shard count — no paper counterpart) | [`session_experiments::run_sweep_seeded`] |
 //!
 //! Each harness returns plain data structures so the binary can print them
 //! as text tables and tests can assert on the qualitative shape (who wins,
@@ -27,6 +28,7 @@ pub mod json;
 pub mod overhead_experiments;
 pub mod report;
 pub mod runner;
+pub mod session_experiments;
 pub mod suite;
 pub mod traffic_experiments;
 
@@ -37,5 +39,6 @@ pub use report::{format_series, format_table, render_bench_report};
 pub use runner::{
     gate, run_trials, BenchReport, GateFinding, GateResult, PointStats, RunnerConfig, TrialOutcome,
 };
-pub use suite::run_figure;
+pub use session_experiments::{SessionsConfig, SessionsPointResult};
+pub use suite::{point_names, run_figure};
 pub use traffic_experiments::TrafficPointResult;

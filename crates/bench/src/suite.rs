@@ -12,6 +12,7 @@
 use crate::engine_experiments::{fig7_fig8, fig9_fig10};
 use crate::overhead_experiments::fig6;
 use crate::runner::{self, BenchReport, KeyedMeasurements, RunnerConfig};
+use crate::session_experiments::{self, SessionsConfig, SHARD_SWEEP};
 use crate::traffic_experiments;
 use bifrost_casestudy::Variant;
 use bifrost_core::seed::Seed;
@@ -27,12 +28,14 @@ pub const FIGURES: &[&str] = &[
     "fig10",
     "fig9_fig10",
     "traffic",
+    "sessions",
 ];
 
 /// Runs one figure as a multi-trial experiment. Returns `None` for an
 /// unknown figure name. `max` bounds the sweep of the engine-scalability
-/// figures (strategy or check count); `requests` sets the request volume of
-/// the `traffic` figure; `quick` selects the compressed timeline for the
+/// figures (strategy or check count) and the live-binding count of the
+/// `sessions` figure; `requests` sets the request volume of the `traffic`
+/// and `sessions` figures; `quick` selects the compressed timeline for the
 /// overhead experiment and the smaller defaults everywhere else.
 pub fn run_figure(
     figure: &str,
@@ -54,6 +57,21 @@ pub fn run_figure(
         "traffic" => {
             let requests = requests.unwrap_or(if quick { 20_000 } else { 100_000 });
             Box::new(move |seed| traffic_trial(requests, seed))
+        }
+        "sessions" => {
+            let mut sessions_config = if quick {
+                SessionsConfig::quick()
+            } else {
+                SessionsConfig::full()
+            };
+            if let Some(requests) = requests {
+                sessions_config = sessions_config.with_requests(requests);
+            }
+            // `--max` bounds this figure's table size: live bindings.
+            if let Some(bindings) = max {
+                sessions_config = sessions_config.with_bindings(bindings);
+            }
+            Box::new(move |seed| sessions_trial(&sessions_config, seed))
         }
         _ => return None,
     };
@@ -136,6 +154,98 @@ fn traffic_trial(requests: usize, seed: Seed) -> KeyedMeasurements {
     ]
 }
 
+/// One trial of the sticky-session sharding experiment: wall-clock
+/// nanoseconds per routed request at every shard count of the sweep, plus
+/// each multi-shard count's time relative to the same trial's 1-shard run.
+/// The ratios are the machine-portable points the CI gate pins; the raw
+/// `ns_per_request` values are informational. All lower-is-better.
+fn sessions_trial(config: &SessionsConfig, seed: Seed) -> KeyedMeasurements {
+    let points = session_experiments::run_sweep_seeded(config, seed);
+    let baseline_ns = points
+        .first()
+        .map(|p| p.ns_per_request)
+        .filter(|ns| *ns > 0.0);
+    let mut measurements = Vec::new();
+    for point in &points {
+        measurements.push((
+            format!("shards={}/ns_per_request", point.shards),
+            point.ns_per_request,
+        ));
+    }
+    if let Some(baseline_ns) = baseline_ns {
+        for point in points.iter().skip(1) {
+            measurements.push((
+                format!("shards={}/time_vs_1shard", point.shards),
+                point.ns_per_request / baseline_ns,
+            ));
+        }
+    }
+    measurements
+}
+
+/// The point labels `figure` can emit, across both timelines and the full
+/// paper sweeps — the superset that `experiments check-baselines` validates
+/// checked-in baseline files against, so a renamed or retired point fails
+/// fast in CI instead of silently skipping its gate. Returns `None` for
+/// unknown figures.
+pub fn point_names(figure: &str) -> Option<Vec<String>> {
+    match figure {
+        "fig6" => {
+            let mut names = vec![
+                "overhead/proxy_ms".to_string(),
+                "active/overall_ms".to_string(),
+            ];
+            // The phase windows are static casestudy configuration; both
+            // timelines (paper / compressed) use the same names.
+            names.extend(
+                bifrost_casestudy::PhasePlan::default()
+                    .windows()
+                    .iter()
+                    .map(|window| format!("active/{}_ms", window.name)),
+            );
+            Some(names)
+        }
+        "fig7" | "fig8" | "fig7_fig8" => Some(
+            fig7_fig8::paper_steps(2_000)
+                .into_iter()
+                .map(|n| format!("strategies={n}"))
+                .collect(),
+        ),
+        "fig9" | "fig10" | "fig9_fig10" => Some(
+            fig9_fig10::paper_steps(16_000)
+                .into_iter()
+                .map(|n| format!("checks={n}"))
+                .collect(),
+        ),
+        "traffic" => Some(
+            [
+                "latency/mean_ms",
+                "latency/p95_ms",
+                "split/abs_error_pct",
+                "shadow/abs_error_pct",
+                "proxy/cpu_ms_per_request",
+            ]
+            .into_iter()
+            .map(str::to_string)
+            .collect(),
+        ),
+        "sessions" => {
+            let mut names: Vec<String> = SHARD_SWEEP
+                .iter()
+                .map(|n| format!("shards={n}/ns_per_request"))
+                .collect();
+            names.extend(
+                SHARD_SWEEP
+                    .iter()
+                    .skip(1)
+                    .map(|n| format!("shards={n}/time_vs_1shard")),
+            );
+            Some(names)
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -143,6 +253,42 @@ mod tests {
     #[test]
     fn unknown_figures_are_rejected() {
         assert!(run_figure("fig99", true, None, None, &RunnerConfig::default()).is_none());
+        assert!(point_names("fig99").is_none());
+    }
+
+    #[test]
+    fn sessions_report_has_raw_and_relative_points() {
+        let config = RunnerConfig::default();
+        // Tiny sizing keeps the test fast; the shape is what matters here.
+        let report = run_figure("sessions", true, Some(20_000), Some(2_000), &config).unwrap();
+        assert_eq!(report.figure, "sessions");
+        for point in point_names("sessions").unwrap() {
+            let stats = report
+                .point(&point)
+                .unwrap_or_else(|| panic!("missing {point}"));
+            assert!(stats.stats.mean > 0.0, "{point}");
+        }
+    }
+
+    #[test]
+    fn every_known_figure_enumerates_its_points() {
+        for figure in FIGURES {
+            let names = point_names(figure).unwrap_or_else(|| panic!("no names for {figure}"));
+            assert!(!names.is_empty());
+        }
+        // The enumerations cover what the trials actually emit.
+        assert!(point_names("fig7")
+            .unwrap()
+            .contains(&"strategies=30".to_string()));
+        assert!(point_names("fig9")
+            .unwrap()
+            .contains(&"checks=160".to_string()));
+        assert!(point_names("fig6")
+            .unwrap()
+            .contains(&"active/Canary_ms".to_string()));
+        assert!(point_names("sessions")
+            .unwrap()
+            .contains(&"shards=16/time_vs_1shard".to_string()));
     }
 
     #[test]

@@ -537,7 +537,7 @@ fn route_via_proxy(
         ),
         (ProxyDeployment::Deployed, Some(handle)) => {
             let (decision, cost): (RoutingDecision, Duration) =
-                handle.write().route_costed(&ProxyRequest::from_user(user));
+                handle.read().route_costed(&ProxyRequest::from_user(user));
             let shadows = decision.shadows.iter().map(|s| s.target).collect();
             (decision.primary, shadows, cost)
         }

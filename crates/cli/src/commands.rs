@@ -56,10 +56,12 @@ pub const USAGE: &str = "bifrost — automated enactment of multi-phase live tes
 USAGE:
     bifrost validate <strategy.yml>     check a strategy file and print its summary
     bifrost dot <strategy.yml>          render the strategy's automaton as Graphviz dot
-    bifrost run <strategy.yml> [--verbose] [--deadline <secs>]
+    bifrost run <strategy.yml> [--verbose] [--deadline <secs>] [--shards N]
                                         enact the strategy against the simulated deployment
+                                        (--shards overrides the session-store shard count,
+                                        also settable via the file's engine.session_shards)
     bifrost demo [--verbose]            run the product-replacement evaluation scenario
-    bifrost bench [--fig <fig6|fig7|fig9|traffic>] [--trials N] [--threads M]
+    bifrost bench [--fig <fig6|fig7|fig9|traffic|sessions>] [--trials N] [--threads M]
                   [--base-seed S] [--max N] [--requests N] [--quick]
                   [--json <out.json>]
                                         run a paper figure as a multi-trial parallel
@@ -87,6 +89,10 @@ pub enum Command {
         verbose: bool,
         /// Virtual-time deadline in seconds.
         deadline_secs: u64,
+        /// Session-store shard count override (`--shards`); `None` defers
+        /// to the strategy file's `engine.session_shards`, then the engine
+        /// default.
+        session_shards: Option<usize>,
     },
     /// Run the built-in product-replacement demo scenario.
     Demo {
@@ -145,6 +151,7 @@ impl Command {
                     .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
                 let mut verbose = false;
                 let mut deadline_secs = 7 * 24 * 3_600;
+                let mut session_shards = None;
                 let rest: Vec<&str> = iter.collect();
                 let mut i = 0;
                 while i < rest.len() {
@@ -157,6 +164,17 @@ impl Command {
                                 .and_then(|s| s.parse().ok())
                                 .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
                         }
+                        "--shards" => {
+                            i += 1;
+                            let shards: usize = rest
+                                .get(i)
+                                .and_then(|s| s.parse().ok())
+                                .filter(|s| {
+                                    (1..=bifrost_core::routing::MAX_SESSION_SHARDS).contains(s)
+                                })
+                                .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
+                            session_shards = Some(shards);
+                        }
                         _ => return Err(CliError::Usage(USAGE.to_string())),
                     }
                     i += 1;
@@ -165,6 +183,7 @@ impl Command {
                     path: path.into(),
                     verbose,
                     deadline_secs,
+                    session_shards,
                 })
             }
             Some("demo") => {
@@ -276,9 +295,13 @@ pub fn run_command(command: &Command) -> Result<CommandOutput, CliError> {
             path,
             verbose,
             deadline_secs,
+            session_shards,
         } => {
-            let strategy = load_strategy(path)?;
-            let output = enact_strategy(strategy, *verbose, *deadline_secs);
+            let document = load_document(path)?;
+            let strategy = bifrost_dsl::compile(&document)?;
+            // CLI flag > strategy file's engine section > engine default.
+            let shards = session_shards.or(document.engine.session_shards);
+            let output = enact_strategy(strategy, *verbose, *deadline_secs, shards);
             Ok(output)
         }
         Command::Demo { verbose } => Ok(run_demo(*verbose)),
@@ -332,12 +355,16 @@ fn run_bench(
     Ok(CommandOutput::ok(text))
 }
 
-fn load_strategy(path: &PathBuf) -> Result<bifrost_core::Strategy, CliError> {
+fn load_document(path: &PathBuf) -> Result<bifrost_dsl::StrategyDocument, CliError> {
     let source = fs::read_to_string(path).map_err(|e| CliError::Io {
         path: path.clone(),
         message: e.to_string(),
     })?;
-    Ok(bifrost_dsl::parse_strategy(&source)?)
+    Ok(bifrost_dsl::parse_document(&source)?)
+}
+
+fn load_strategy(path: &PathBuf) -> Result<bifrost_core::Strategy, CliError> {
+    Ok(bifrost_dsl::compile(&load_document(path)?)?)
 }
 
 /// Enacts a compiled strategy against an engine with an in-process metric
@@ -349,9 +376,14 @@ fn enact_strategy(
     strategy: bifrost_core::Strategy,
     verbose: bool,
     deadline_secs: u64,
+    session_shards: Option<usize>,
 ) -> CommandOutput {
     let store = SharedMetricStore::new();
-    let mut engine = BifrostEngine::new(EngineConfig::default());
+    let mut config = EngineConfig::default();
+    if let Some(shards) = session_shards {
+        config = config.with_session_shards(shards);
+    }
+    let mut engine = BifrostEngine::new(config);
     engine.register_store_provider("prometheus", store);
     // Register one proxy per service, defaulting to the first version.
     let registrations: Vec<_> = strategy
@@ -443,15 +475,21 @@ mod tests {
                 "s.yml",
                 "--verbose",
                 "--deadline",
-                "600"
+                "600",
+                "--shards",
+                "16"
             ]))
             .unwrap(),
             Command::Run {
                 path: "s.yml".into(),
                 verbose: true,
-                deadline_secs: 600
+                deadline_secs: 600,
+                session_shards: Some(16),
             }
         );
+        assert!(Command::parse(&strings(&["run", "s.yml", "--shards", "0"])).is_err());
+        assert!(Command::parse(&strings(&["run", "s.yml", "--shards", "99999999999"])).is_err());
+        assert!(Command::parse(&strings(&["run", "s.yml", "--shards"])).is_err());
         assert_eq!(
             Command::parse(&strings(&["demo", "-v"])).unwrap(),
             Command::Demo { verbose: true }
@@ -485,6 +523,8 @@ mod tests {
             &path,
             r#"
 name: cli-test
+engine:
+  session_shards: 2
 strategy:
   phases:
     - phase: canary
@@ -514,6 +554,7 @@ strategy:
             path: path.clone(),
             verbose: false,
             deadline_secs: 3_600,
+            session_shards: Some(4),
         })
         .unwrap();
         // The strategy has no checks, so it auto-passes and succeeds.
@@ -689,6 +730,7 @@ strategy:
             path,
             verbose: false,
             deadline_secs: 30 * 86_400,
+            session_shards: None,
         })
         .unwrap();
         assert_eq!(output.exit_code, 0);

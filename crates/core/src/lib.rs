@@ -47,6 +47,7 @@
 pub mod automaton;
 pub mod check;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod outcome;
 pub mod phase;

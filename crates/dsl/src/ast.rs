@@ -145,6 +145,16 @@ pub struct PhaseDoc {
     pub checks: Vec<CheckDoc>,
 }
 
+/// Enactment-engine settings declared in a strategy file. These do not
+/// alter the compiled strategy — they tune the engine the CLI builds to
+/// enact it (and default to the engine's own defaults when absent).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EngineDoc {
+    /// How many ways each proxy shards its sticky-session table
+    /// (`session_shards`, minimum 1). `None` keeps the engine default.
+    pub session_shards: Option<usize>,
+}
+
 /// A complete, parsed strategy file.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StrategyDocument {
@@ -152,6 +162,8 @@ pub struct StrategyDocument {
     pub name: String,
     /// The deployment part.
     pub deployment: DeploymentDoc,
+    /// Optional engine settings.
+    pub engine: EngineDoc,
     /// The ordered phases.
     pub phases: Vec<PhaseDoc>,
 }
@@ -168,6 +180,10 @@ impl StrategyDocument {
             Some(dep) => parse_deployment(dep)?,
             None => DeploymentDoc::default(),
         };
+        let engine = match yaml.get("engine") {
+            Some(engine) => parse_engine(engine)?,
+            None => EngineDoc::default(),
+        };
         let strategy = yaml
             .get("strategy")
             .ok_or_else(|| DslError::missing("strategy document", "strategy"))?;
@@ -182,6 +198,7 @@ impl StrategyDocument {
         Ok(Self {
             name,
             deployment,
+            engine,
             phases,
         })
     }
@@ -234,6 +251,29 @@ fn parse_deployment(yaml: &YamlValue) -> Result<DeploymentDoc, DslError> {
         });
     }
     Ok(DeploymentDoc { services })
+}
+
+fn parse_engine(yaml: &YamlValue) -> Result<EngineDoc, DslError> {
+    let session_shards = match yaml.get("session_shards") {
+        None => None,
+        Some(value) => {
+            let shards = value
+                .as_i64()
+                .filter(|v| (1..=bifrost_core::routing::MAX_SESSION_SHARDS as i64).contains(v))
+                .ok_or_else(|| {
+                    DslError::invalid(
+                        "engine section",
+                        "session_shards",
+                        format!(
+                            "must be an integer in 1..={}",
+                            bifrost_core::routing::MAX_SESSION_SHARDS
+                        ),
+                    )
+                })?;
+            Some(shards as usize)
+        }
+    };
+    Ok(EngineDoc { session_shards })
 }
 
 fn parse_phase(yaml: &YamlValue) -> Result<PhaseDoc, DslError> {
@@ -510,6 +550,52 @@ strategy:
         assert_eq!(rollout.to_traffic, Some(100.0));
         assert_eq!(rollout.step, Some(5.0));
         assert_eq!(rollout.step_duration_secs, Some(86_400));
+    }
+
+    #[test]
+    fn engine_section_parses_session_shards() {
+        let source = r#"
+name: x
+engine:
+  session_shards: 16
+strategy:
+  phases:
+    - phase: canary
+      service: search
+      stable: a
+      candidate: b
+"#;
+        let doc = StrategyDocument::from_yaml(&yaml::parse(source).unwrap()).unwrap();
+        assert_eq!(doc.engine.session_shards, Some(16));
+        // Absent section → defaults.
+        let bare = r#"
+name: x
+strategy:
+  phases:
+    - phase: canary
+      service: search
+      stable: a
+      candidate: b
+"#;
+        let doc = StrategyDocument::from_yaml(&yaml::parse(bare).unwrap()).unwrap();
+        assert_eq!(doc.engine, EngineDoc::default());
+        assert_eq!(doc.engine.session_shards, None);
+    }
+
+    #[test]
+    fn engine_section_rejects_invalid_shard_counts() {
+        for bad in [
+            "session_shards: 0",
+            "session_shards: -4",
+            "session_shards: lots",
+            "session_shards: 99999999999",
+        ] {
+            let source = format!(
+                "name: x\nengine:\n  {bad}\nstrategy:\n  phases:\n    - phase: canary\n      service: s\n      stable: a\n      candidate: b\n"
+            );
+            let err = StrategyDocument::from_yaml(&yaml::parse(&source).unwrap()).unwrap_err();
+            assert!(err.to_string().contains("session_shards"), "{bad}: {err}");
+        }
     }
 
     #[test]

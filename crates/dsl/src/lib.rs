@@ -58,8 +58,8 @@ pub mod error;
 pub mod yaml;
 
 pub use ast::{
-    CheckDoc, DeploymentDoc, MetricDoc, PhaseDoc, PhaseType, ServiceDoc, StrategyDocument,
-    VersionDoc,
+    CheckDoc, DeploymentDoc, EngineDoc, MetricDoc, PhaseDoc, PhaseType, ServiceDoc,
+    StrategyDocument, VersionDoc,
 };
 pub use compile::compile;
 pub use error::DslError;

@@ -49,6 +49,12 @@ pub struct EngineConfig {
     /// trial's engine, workload, and application all derive from one
     /// [`bifrost_core::TrialConfig`] seed and the whole run is reproducible.
     pub seed: Seed,
+    /// How many ways every registered proxy shards its sticky-session
+    /// table (striped locks + smaller per-shard trees; see
+    /// [`bifrost_proxy::SessionStore`]). Routed decisions and reported
+    /// statistics are identical for every shard count — the knob only
+    /// moves the routing hot path's scalability.
+    pub session_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -58,6 +64,7 @@ impl Default for EngineConfig {
             costs: EngineCostModel::default(),
             utilization_sample_interval: Duration::from_secs(1),
             seed: Seed::DEFAULT,
+            session_shards: bifrost_proxy::DEFAULT_SESSION_SHARDS,
         }
     }
 }
@@ -66,6 +73,13 @@ impl EngineConfig {
     /// Overrides the seed (builder style).
     pub fn with_seed(mut self, seed: Seed) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Overrides the session-store shard count of registered proxies
+    /// (builder style, minimum 1).
+    pub fn with_session_shards(mut self, session_shards: usize) -> Self {
+        self.session_shards = session_shards.max(1);
         self
     }
 }
@@ -128,7 +142,7 @@ impl BifrostEngine {
             queue: EventQueue::new(),
             cpu: CpuResource::new(config.cores),
             providers: ProviderRegistry::new(),
-            proxies: ProxyFleet::new(),
+            proxies: ProxyFleet::with_session_shards(config.session_shards),
             executions: BTreeMap::new(),
             traffic: Vec::new(),
             traffic_cpus: BTreeMap::new(),

@@ -8,7 +8,7 @@
 
 use bifrost_core::ids::{ServiceId, VersionId};
 use bifrost_core::routing::RoutingRule;
-use bifrost_proxy::{BifrostProxy, ProxyConfig, ProxyRule};
+use bifrost_proxy::{BifrostProxy, ProxyConfig, ProxyRule, DEFAULT_SESSION_SHARDS};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -18,11 +18,23 @@ use std::sync::Arc;
 pub type ProxyHandle = Arc<RwLock<BifrostProxy>>;
 
 /// The set of proxies managed by one engine.
-#[derive(Default)]
 pub struct ProxyFleet {
     proxies: BTreeMap<ServiceId, ProxyHandle>,
     defaults: BTreeMap<ServiceId, VersionId>,
     revisions: BTreeMap<ServiceId, u64>,
+    /// Session-store shards configured into every registered proxy.
+    session_shards: usize,
+}
+
+impl Default for ProxyFleet {
+    fn default() -> Self {
+        Self {
+            proxies: BTreeMap::new(),
+            defaults: BTreeMap::new(),
+            revisions: BTreeMap::new(),
+            session_shards: DEFAULT_SESSION_SHARDS,
+        }
+    }
 }
 
 impl ProxyFleet {
@@ -31,15 +43,29 @@ impl ProxyFleet {
         Self::default()
     }
 
+    /// Creates an empty fleet whose proxies shard their sticky-session
+    /// tables `session_shards` ways (minimum 1).
+    pub fn with_session_shards(session_shards: usize) -> Self {
+        Self {
+            session_shards: session_shards.max(1),
+            ..Self::default()
+        }
+    }
+
+    /// The session-shard count configured into registered proxies.
+    pub fn session_shards(&self) -> usize {
+        self.session_shards
+    }
+
     /// Registers a proxy for `service`, initially routing everything to
     /// `default_version`. Returns the shared handle (give clones of it to the
     /// application simulation).
     pub fn register(&mut self, service: ServiceId, default_version: VersionId) -> ProxyHandle {
         let config = ProxyConfig::new(service, default_version);
-        let proxy = Arc::new(RwLock::new(BifrostProxy::new(
-            format!("proxy-{service}"),
-            config,
-        )));
+        let proxy = Arc::new(RwLock::new(
+            BifrostProxy::new(format!("proxy-{service}"), config)
+                .with_session_shards(self.session_shards),
+        ));
         self.proxies.insert(service, proxy.clone());
         self.defaults.insert(service, default_version);
         self.revisions.insert(service, 0);

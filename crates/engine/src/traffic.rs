@@ -8,9 +8,11 @@
 //! service; the engine materialises the arrival plan from its seed, groups
 //! the arrivals into per-tick batches ([`bifrost_workload::ArrivalPlan::batches`]),
 //! and schedules one `TrafficTick` engine event per non-empty tick. Each
-//! tick routes its batch through the service's proxy in one lock
-//! acquisition ([`bifrost_proxy::BifrostProxy::route_many_costed`] — the
-//! compiled-config hot path), charges every request's routing cost to the
+//! tick routes its batch through the service's proxy under a shared read
+//! lock ([`bifrost_proxy::BifrostProxy::route_many_costed`] — the
+//! compiled-config hot path, which partitions the batch by session shard
+//! and takes one striped lock per touched shard instead of a global
+//! one), charges every request's routing cost to the
 //! proxy's own CPU, models the serving version's backend latency and error
 //! rate, and records the observed outcomes into the shared metric store via
 //! [`bifrost_metrics::TrafficSeriesRecorder`] — so checks evaluate traffic
@@ -348,8 +350,10 @@ impl TrafficStream {
                 .iter()
                 .map(|arrival| ProxyRequest::from_user(arrival.user)),
         );
-        // One proxy lock (and one compiled-config resolution) per batch.
-        let routed = proxy.write().route_many_costed(self.scratch.iter());
+        // Routing needs only read access to the proxy (the sharded session
+        // store locks per shard internally), so concurrent streams through
+        // the same proxy no longer serialize on the handle.
+        let routed = proxy.read().route_many_costed(self.scratch.iter());
         for (arrival, (decision, cost)) in arrivals.iter().zip(&routed) {
             let receipt = cpu.submit(arrival.at, *cost);
             self.stats.proxy_busy += *cost;

@@ -23,7 +23,7 @@
 //! let split = TrafficSplit::canary(stable, canary, Percentage::new(5.0)?)?;
 //! let config = ProxyConfig::new(service, stable)
 //!     .with_rule(ProxyRule::split(split, false, UserSelector::All, RoutingMode::CookieBased));
-//! let mut proxy = BifrostProxy::new("search-proxy", config);
+//! let proxy = BifrostProxy::new("search-proxy", config);
 //! let decision = proxy.route(&ProxyRequest::from_user(UserId::new(7)));
 //! assert!(decision.primary == stable || decision.primary == canary);
 //! # Ok::<(), bifrost_core::ModelError>(())
@@ -43,7 +43,10 @@ pub use config::{ProxyConfig, ProxyRule};
 pub use overhead::OverheadModel;
 pub use proxy::{BifrostProxy, ProxyStats};
 pub use request::{ProxyRequest, RoutingDecision, ShadowCopy};
-pub use session::{SessionStore, SessionToken};
+pub use session::{
+    SessionShard, SessionStore, SessionToken, TokenGenerator, DEFAULT_SESSION_SHARDS,
+    MAX_SESSION_SHARDS,
+};
 
 /// Convenience re-exports.
 pub mod prelude {
@@ -51,5 +54,8 @@ pub mod prelude {
     pub use crate::overhead::OverheadModel;
     pub use crate::proxy::{BifrostProxy, ProxyStats};
     pub use crate::request::{ProxyRequest, RoutingDecision, ShadowCopy};
-    pub use crate::session::{SessionStore, SessionToken};
+    pub use crate::session::{
+        SessionShard, SessionStore, SessionToken, TokenGenerator, DEFAULT_SESSION_SHARDS,
+        MAX_SESSION_SHARDS,
+    };
 }

@@ -1,11 +1,26 @@
-//! Sticky sessions: cookie tokens and the session table.
+//! Sticky sessions: cookie tokens and the sharded session table.
 //!
 //! When a proxy uses cookie-based routing with sticky sessions, it sets a
 //! UUID cookie on the client's first request and remembers which version the
 //! client was bucketed into; subsequent requests carrying the cookie are
 //! routed to the same version for the remainder of the state.
+//!
+//! The binding table is the proxy's hottest shared structure: every routed
+//! request under a sticky split performs a lookup, and a proxy fronting a
+//! large service holds millions of live bindings. The table is therefore
+//! **sharded by token hash** — `N` independently locked
+//! ([`parking_lot::Mutex`]) shards, each a `BTreeMap` slice of the key
+//! space. Shard assignment is a pure function of the token (a splitmix
+//! finalizer over [`SessionToken::raw`], see [`bifrost_core::hash`]), so a
+//! token's bindings always live in exactly one shard and batch routing can
+//! partition a tick's requests by shard, taking one short lock per touched
+//! shard instead of one global lock for the whole batch. Smaller per-shard
+//! trees also cut lookup depth, which is what makes sharding win even on a
+//! single core once the table holds millions of bindings.
 
+use bifrost_core::hash;
 use bifrost_core::ids::VersionId;
+use parking_lot::{Mutex, MutexGuard};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
@@ -39,6 +54,14 @@ impl SessionToken {
         // constants, and a draw that includes them is biased.
         let bits = (self.0 as u64) & ((1u64 << 53) - 1);
         bits as f64 / (1u64 << 53) as f64
+    }
+
+    /// The token's shard-assignment hash: a full-avalanche mix of the raw
+    /// 128 bits. Decorrelated from [`Self::bucket_draw`] (which reads the
+    /// low bits unmixed), so shard residency carries no information about
+    /// the version a split buckets the session into.
+    pub const fn shard_hash(self) -> u64 {
+        hash::fold128(self.0)
     }
 }
 
@@ -74,8 +97,8 @@ impl TokenGenerator {
     /// Produces the next token, stamped with RFC 4122 version-4 and variant
     /// bits so the rendered cookie is a well-formed random UUID.
     pub fn next_token(&mut self) -> SessionToken {
-        let a = splitmix64(&mut self.state);
-        let b = splitmix64(&mut self.state);
+        let a = hash::splitmix64(&mut self.state);
+        let b = hash::splitmix64(&mut self.state);
         let mut bytes = (((a as u128) << 64) | b as u128).to_be_bytes();
         bytes[6] = (bytes[6] & 0x0f) | 0x40;
         bytes[8] = (bytes[8] & 0x3f) | 0x80;
@@ -83,28 +106,18 @@ impl TokenGenerator {
     }
 }
 
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+pub use bifrost_core::routing::{DEFAULT_SESSION_SHARDS, MAX_SESSION_SHARDS};
 
-/// The sticky-session table of a proxy: token → version.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct SessionStore {
+/// One independently locked slice of the sticky-session table: the bindings
+/// whose token hashes to this shard, plus this shard's lookup counters.
+#[derive(Debug, Default)]
+pub struct SessionShard {
     bindings: BTreeMap<SessionToken, VersionId>,
     hits: u64,
     misses: u64,
 }
 
-impl SessionStore {
-    /// Creates an empty store.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
+impl SessionShard {
     /// Looks up the version bound to a token, recording a hit or miss.
     pub fn lookup(&mut self, token: SessionToken) -> Option<VersionId> {
         match self.bindings.get(&token) {
@@ -124,35 +137,122 @@ impl SessionStore {
         self.bindings.insert(token, version);
     }
 
-    /// Removes every binding (called on state transitions, where assignments
-    /// are rebuilt from the new routing configuration).
-    pub fn clear(&mut self) {
-        self.bindings.clear();
-    }
-
-    /// Number of bound sessions.
+    /// Number of bindings in this shard.
     pub fn len(&self) -> usize {
         self.bindings.len()
     }
 
-    /// Whether the table is empty.
+    /// Whether this shard holds no bindings.
     pub fn is_empty(&self) -> bool {
         self.bindings.is_empty()
     }
+}
 
-    /// Number of successful lookups.
-    pub fn hits(&self) -> u64 {
-        self.hits
+/// The sticky-session table of a proxy: token → version, sharded by token
+/// hash behind striped locks.
+///
+/// All methods take `&self`; concurrent callers (and shard-partitioned
+/// batches, see [`crate::BifrostProxy::route_many_costed`]) only contend
+/// when they touch the same shard. Aggregate accessors ([`Self::len`],
+/// [`Self::hits`], …) fold over the shards in index order; every aggregate
+/// is a sum, so the result is independent of both shard count and shard
+/// iteration order.
+#[derive(Debug)]
+pub struct SessionStore {
+    shards: Vec<Mutex<SessionShard>>,
+}
+
+impl Default for SessionStore {
+    fn default() -> Self {
+        Self::with_shards(DEFAULT_SESSION_SHARDS)
+    }
+}
+
+impl SessionStore {
+    /// Creates an empty store with [`DEFAULT_SESSION_SHARDS`] shards.
+    pub fn new() -> Self {
+        Self::default()
     }
 
-    /// Number of failed lookups.
+    /// Creates an empty store with `shards` shards (clamped to
+    /// `1..=`[`MAX_SESSION_SHARDS`]).
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            shards: (0..shards.clamp(1, MAX_SESSION_SHARDS))
+                .map(|_| Mutex::default())
+                .collect(),
+        }
+    }
+
+    /// The number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a token's bindings live in — a pure function of the token
+    /// and the shard count, stable across calls.
+    pub fn shard_of(&self, token: SessionToken) -> usize {
+        (token.shard_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// Locks and returns one shard (batch routing partitions its requests
+    /// by [`Self::shard_of`] and processes each group under one such lock).
+    pub fn shard(&self, index: usize) -> MutexGuard<'_, SessionShard> {
+        self.shards[index].lock()
+    }
+
+    /// Looks up the version bound to a token, recording a hit or miss in
+    /// the token's shard.
+    pub fn lookup(&self, token: SessionToken) -> Option<VersionId> {
+        self.shard(self.shard_of(token)).lookup(token)
+    }
+
+    /// Binds a token to a version.
+    pub fn bind(&self, token: SessionToken, version: VersionId) {
+        self.shard(self.shard_of(token)).bind(token, version);
+    }
+
+    /// Removes every binding (called on state transitions, where assignments
+    /// are rebuilt from the new routing configuration). Lookup counters are
+    /// retained, matching the pre-sharding behaviour.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().bindings.clear();
+        }
+    }
+
+    /// Number of bound sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().bindings.len()).sum()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().bindings.is_empty())
+    }
+
+    /// Number of successful lookups across all shards.
+    pub fn hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().hits).sum()
+    }
+
+    /// Number of failed lookups across all shards.
     pub fn misses(&self) -> u64 {
-        self.misses
+        self.shards.iter().map(|s| s.lock().misses).sum()
     }
 
     /// Number of sessions currently bound to `version`.
     pub fn sessions_on(&self, version: VersionId) -> usize {
-        self.bindings.values().filter(|v| **v == version).count()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .bindings
+                    .values()
+                    .filter(|v| **v == version)
+                    .count()
+            })
+            .sum()
     }
 }
 
@@ -217,7 +317,7 @@ mod tests {
 
     #[test]
     fn session_store_binding_lifecycle() {
-        let mut store = SessionStore::new();
+        let store = SessionStore::new();
         let mut generator = TokenGenerator::seeded(3);
         let token = generator.next_token();
         let v1 = VersionId::new(1);
@@ -239,5 +339,49 @@ mod tests {
         store.clear();
         assert!(store.is_empty());
         assert!(store.lookup(token).is_none());
+    }
+
+    #[test]
+    fn shard_assignment_is_stable_and_bounded() {
+        let store = SessionStore::with_shards(16);
+        assert_eq!(store.shard_count(), 16);
+        let mut generator = TokenGenerator::seeded(9);
+        for _ in 0..1_000 {
+            let token = generator.next_token();
+            let shard = store.shard_of(token);
+            assert!(shard < 16);
+            assert_eq!(shard, store.shard_of(token), "assignment must be stable");
+        }
+    }
+
+    #[test]
+    fn bindings_land_in_their_assigned_shard() {
+        let store = SessionStore::with_shards(8);
+        let mut generator = TokenGenerator::seeded(5);
+        for i in 0..500 {
+            let token = generator.next_token();
+            store.bind(token, VersionId::new(i % 3));
+            let expected = store.shard_of(token);
+            for index in 0..store.shard_count() {
+                let holds = store.shard(index).bindings.contains_key(&token);
+                assert_eq!(holds, index == expected, "token in wrong shard");
+            }
+        }
+        let per_shard: Vec<usize> = (0..8).map(|i| store.shard(i).len()).collect();
+        assert_eq!(per_shard.iter().sum::<usize>(), store.len());
+        // The hash spreads tokens over all shards.
+        assert!(per_shard.iter().all(|&n| n > 0), "shards {per_shard:?}");
+    }
+
+    #[test]
+    fn degenerate_shard_counts_are_clamped() {
+        let store = SessionStore::with_shards(0);
+        assert_eq!(store.shard_count(), 1);
+        let token = TokenGenerator::seeded(1).next_token();
+        assert_eq!(store.shard_of(token), 0);
+        // The upper bound keeps a typo'd knob from demanding an absurd
+        // allocation.
+        let store = SessionStore::with_shards(usize::MAX);
+        assert_eq!(store.shard_count(), MAX_SESSION_SHARDS);
     }
 }

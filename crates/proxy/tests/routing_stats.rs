@@ -55,8 +55,7 @@ fn pick_hits_configured_shares_across_many_splits() {
 #[test]
 fn cookie_path_hits_shares_for_identified_users() {
     for share in [10.0, 50.0] {
-        let mut proxy =
-            BifrostProxy::new("p", split_config(share, false, RoutingMode::CookieBased));
+        let proxy = BifrostProxy::new("p", split_config(share, false, RoutingMode::CookieBased));
         let canary = VersionId::new(1);
         let hits = (0..N)
             .map(|i| proxy.route(&ProxyRequest::from_user(UserId::new(i as u64))))
@@ -75,7 +74,7 @@ fn cookie_path_hits_shares_for_anonymous_clients() {
     // Every request is anonymous and cookieless: the proxy buckets each one
     // with a freshly generated token. The fixed bucket_draw (low, unstamped
     // bits) must keep the draw uniform.
-    let mut proxy = BifrostProxy::new("p", split_config(20.0, false, RoutingMode::CookieBased));
+    let proxy = BifrostProxy::new("p", split_config(20.0, false, RoutingMode::CookieBased));
     let canary = VersionId::new(1);
     let hits = (0..N)
         .map(|_| proxy.route(&ProxyRequest::new()))
@@ -93,7 +92,7 @@ fn header_path_follows_upstream_group_assignment() {
     // The upstream (e.g. login service) assigns 30% of requests to group B;
     // the proxy must follow the header exactly, so the observed share equals
     // the upstream assignment share.
-    let mut proxy = BifrostProxy::new("p", split_config(50.0, false, RoutingMode::HeaderBased));
+    let proxy = BifrostProxy::new("p", split_config(50.0, false, RoutingMode::HeaderBased));
     let canary = VersionId::new(1);
     let mut rng = SimRng::seeded(5);
     let mut upstream_b = 0usize;
@@ -116,7 +115,7 @@ fn header_path_follows_upstream_group_assignment() {
 #[test]
 fn shadow_share_matches_percentage_for_identified_users() {
     for percent in [10.0, 25.0, 75.0] {
-        let mut proxy = BifrostProxy::new("p", shadow_config(percent));
+        let proxy = BifrostProxy::new("p", shadow_config(percent));
         let shadowed = (0..N)
             .map(|i| proxy.route(&ProxyRequest::from_user(UserId::new(i as u64))))
             .filter(|d| !d.shadows.is_empty())
@@ -137,7 +136,7 @@ fn anonymous_requests_are_not_over_duplicated() {
     // percentage. The draw now comes from the proxy's seeded token
     // generator, so the share must track the configuration.
     for percent in [5.0, 25.0, 60.0] {
-        let mut proxy = BifrostProxy::new("p", shadow_config(percent));
+        let proxy = BifrostProxy::new("p", shadow_config(percent));
         let shadowed = (0..N)
             .map(|_| proxy.route(&ProxyRequest::new()))
             .filter(|d| !d.shadows.is_empty())
@@ -155,7 +154,7 @@ fn anonymous_shadow_cohort_is_stable_across_return_visits() {
     // A cookieless anonymous request under a shadow-only config gets a
     // re-identification cookie; presenting it on return visits keeps the
     // client's shadow decision stable (same cohort, not a fresh draw).
-    let mut proxy = BifrostProxy::new("p", shadow_config(30.0));
+    let proxy = BifrostProxy::new("p", shadow_config(30.0));
     for _ in 0..500 {
         let first = proxy.route(&ProxyRequest::new());
         let token = first.set_cookie.expect("shadow-only path sets a cookie");
@@ -185,7 +184,7 @@ fn identified_users_keep_their_shadow_decision_once_cookied() {
             canary,
             Percentage::new(25.0).unwrap(),
         )));
-    let mut proxy = BifrostProxy::new("p", config);
+    let proxy = BifrostProxy::new("p", config);
     for i in 0..2_000 {
         let first = proxy.route(&ProxyRequest::from_user(UserId::new(i)));
         let token = first.set_cookie.expect("sticky split sets a cookie");
@@ -216,7 +215,7 @@ fn only_source_version_traffic_is_shadowed_under_a_split() {
             shadow_target,
             Percentage::new(50.0).unwrap(),
         )));
-    let mut proxy = BifrostProxy::new("p", config);
+    let proxy = BifrostProxy::new("p", config);
     let mut shadowed = 0usize;
     for i in 0..N {
         let decision = proxy.route(&ProxyRequest::from_user(UserId::new(i as u64)));
@@ -240,7 +239,7 @@ fn sticky_sessions_pin_clients_while_other_traffic_shifts_realized_shares() {
     // Within one state (one configuration), a sticky client must keep its
     // version no matter how much other traffic arrives or how the realized
     // shares drift.
-    let mut proxy = BifrostProxy::new("p", split_config(50.0, true, RoutingMode::CookieBased));
+    let proxy = BifrostProxy::new("p", split_config(50.0, true, RoutingMode::CookieBased));
     let clients: Vec<_> = (0..200)
         .map(|_| {
             let first = proxy.route(&ProxyRequest::new());
@@ -276,8 +275,8 @@ fn batch_routing_is_identical_to_serial_routing() {
         })
         .collect();
     let config = split_config(30.0, true, RoutingMode::CookieBased);
-    let mut serial = BifrostProxy::new("same-seed", config.clone());
-    let mut batched = BifrostProxy::new("same-seed", config);
+    let serial = BifrostProxy::new("same-seed", config.clone());
+    let batched = BifrostProxy::new("same-seed", config);
     let expected: Vec<_> = requests.iter().map(|r| serial.route_costed(r)).collect();
     let actual = batched.route_many_costed(requests.iter());
     assert_eq!(expected, actual);

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Validates the checked-in perf-gate baselines against the bench suite:
+# every crates/bench/baseline*.json must parse as a bifrost-bench report,
+# name a figure `bench::suite` knows, and only contain point labels that
+# figure can emit — so a renamed figure or point fails the lint job fast
+# instead of silently skipping its regression gate (the gate only compares
+# points present in the baseline).
+#
+# The actual validation lives in `experiments check-baselines` (it reuses
+# the report parser and suite::point_names); this wrapper just builds and
+# runs it from the repository root, like CI does.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+cargo run --quiet -p bifrost-bench --bin experiments -- check-baselines crates/bench

@@ -137,7 +137,7 @@ fn defective_canary_is_rolled_back_and_users_stay_on_stable() {
     // The rollback state routes everything back to the stable version.
     assert!(!product_proxy.read().config().has_dark_launch());
     let final_decision = {
-        let mut proxy = product_proxy.write();
+        let proxy = product_proxy.write();
         proxy.route(&bifrost::proxy::ProxyRequest::from_user(
             bifrost::core::ids::UserId::new(7),
         ))

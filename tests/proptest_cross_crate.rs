@@ -31,7 +31,7 @@ proptest! {
     /// The measured canary share over many users tracks the configured share.
     #[test]
     fn proxy_share_tracks_configuration(share in 5.0f64..95.0) {
-        let mut proxy = canary_proxy(share, false);
+        let proxy = canary_proxy(share, false);
         let n = 4_000u64;
         let canary_hits = (0..n)
             .map(|i| proxy.route(&ProxyRequest::from_user(UserId::new(i))))
@@ -46,7 +46,7 @@ proptest! {
     /// sessions.
     #[test]
     fn proxy_routing_is_deterministic_per_user(share in 1.0f64..99.0, user in 0u64..100_000, sticky in proptest::bool::ANY) {
-        let mut proxy = canary_proxy(share, sticky);
+        let proxy = canary_proxy(share, sticky);
         let first = proxy.route(&ProxyRequest::from_user(UserId::new(user))).primary;
         for _ in 0..5 {
             let next = proxy.route(&ProxyRequest::from_user(UserId::new(user))).primary;

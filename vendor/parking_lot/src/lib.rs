@@ -9,7 +9,11 @@
 #![forbid(unsafe_code)]
 
 use std::fmt;
-use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::sync;
+
+// Guard types under the real crate's public names (there they are distinct
+// types; the std guards are the closest offline stand-ins).
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 /// A mutual-exclusion lock with parking_lot's non-poisoning interface.
 #[derive(Default)]
