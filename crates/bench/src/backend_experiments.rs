@@ -1,0 +1,246 @@
+//! The `backends` figure: canary overload behaviour of the queued backend
+//! fleet.
+//!
+//! Like the `traffic` and `sessions` figures this has no direct paper
+//! counterpart — it pins the behaviour of the queued backend model added
+//! on top of the reproduction: a 20% canary whose version runs on 1, 2, or
+//! 4 single-core replicas is put under a ramping open-loop load, with and
+//! without a 20% dark launch duplicating stable traffic onto the same
+//! canary version. Each scenario reports
+//!
+//! * the canary's worst per-tick **p95 latency** (virtual milliseconds,
+//!   from the `request_latency_p95_ms` series the fleet records), and
+//! * the canary's **shed percentage** (queue-full rejections and timeouts
+//!   over everything the version was offered, shadow copies included).
+//!
+//! The sweep is calibrated so the picture is qualitative and stable at any
+//! request volume: the canary's service demand is derived from the peak
+//! arrival rate so one replica runs at a fixed offered load of
+//! [`THIN_REPLICA_LOAD`] (≈1.4 cores) at the top of the ramp. One replica
+//! therefore saturates outright (p95 pinned near the timeout, double-digit
+//! shed), two replicas are healthy until the dark launch pushes them over
+//! capacity, four replicas absorb everything. All points are
+//! lower-is-better and fully deterministic per seed (virtual time only),
+//! so the perf-regression gate holds them against
+//! `crates/bench/baseline_backends.json`.
+
+use bifrost_core::ids::{ServiceId, VersionId};
+use bifrost_core::routing::{DarkLaunchRoute, Percentage, RoutingMode, TrafficSplit};
+use bifrost_core::seed::Seed;
+use bifrost_core::user::UserSelector;
+use bifrost_engine::{BackendProfile, BifrostEngine, EngineConfig, QueuedBackend, TrafficProfile};
+use bifrost_metrics::{Aggregation, RangeQuery, SharedMetricStore};
+use bifrost_proxy::{ProxyConfig, ProxyRule};
+use bifrost_simnet::SimTime;
+use bifrost_workload::{LoadProfile, RequestMix};
+use std::time::Duration;
+
+/// The canary's primary traffic share (percent).
+pub const CANARY_SHARE: f64 = 20.0;
+/// The dark-launch duplication share of stable traffic (percent) in the
+/// `+dark20` scenarios.
+pub const DARK_SHARE: f64 = 20.0;
+/// The replica counts the figure sweeps.
+pub const REPLICA_SWEEP: &[usize] = &[1, 2, 4];
+/// Virtual seconds of traffic per scenario.
+const DURATION_SECS: u64 = 100;
+/// Virtual seconds of the linear load ramp.
+const RAMP_SECS: u64 = 60;
+/// The offered load (in replica-cores) one canary replica sees at the top
+/// of the ramp without the dark launch; the canary's service demand is
+/// derived from the arrival rate to hit exactly this, so the saturation
+/// picture is independent of the `--requests` volume. The dark launch adds
+/// another `0.2 × 0.8 / 0.2 = 0.8×` of that on top.
+pub const THIN_REPLICA_LOAD: f64 = 1.4;
+/// The canary backend's request deadline.
+const CANARY_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// The outcome of one backends scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendsPointResult {
+    /// Replicas the canary version ran on.
+    pub replicas: usize,
+    /// Whether a 20% dark launch also fed the canary.
+    pub dark: bool,
+    /// Primary requests routed over the run.
+    pub requests: u64,
+    /// Worst per-tick p95 latency of the canary version (virtual ms).
+    pub p95_ms: f64,
+    /// Shed + timed-out share of everything offered to the canary
+    /// (percent; shadow copies count into both sides).
+    pub shed_pct: f64,
+    /// Peak per-tick replica utilisation of the canary (percent).
+    pub peak_utilization: f64,
+}
+
+/// Runs one scenario: `replicas` canary replicas under a ramping load of
+/// roughly `requests` total requests, optionally with the dark launch.
+pub fn run_point_seeded(
+    replicas: usize,
+    dark: bool,
+    requests: usize,
+    seed: Seed,
+) -> BackendsPointResult {
+    let service = ServiceId::new(0);
+    let stable = VersionId::new(0);
+    let canary = VersionId::new(1);
+
+    // The ramp integrates to `rate * (DURATION - RAMP/2)` requests.
+    let duration = Duration::from_secs(DURATION_SECS);
+    let rate = requests as f64 / (DURATION_SECS - RAMP_SECS / 2) as f64;
+    let load = LoadProfile {
+        requests_per_second: rate,
+        ramp_up: Duration::from_secs(RAMP_SECS),
+        duration,
+        mix: RequestMix::paper_mix(),
+        user_count: 1_000_000,
+        poisson_arrivals: false,
+    };
+    // Provision the proxy VM for the dark-launch routing cost (~11 ms per
+    // duplicated request under the Node-prototype overhead model): this
+    // figure studies *backend* saturation, so the proxy must never be the
+    // upstream bottleneck.
+    let cores = ((rate * 0.011 / 0.6).ceil() as usize).max(4);
+    // Size the canary's per-request demand so one replica sits at exactly
+    // THIN_REPLICA_LOAD offered cores at the peak rate.
+    let canary_peak = rate * CANARY_SHARE / 100.0;
+    let canary_service = Duration::from_secs_f64(THIN_REPLICA_LOAD / canary_peak);
+    let profile = TrafficProfile::new(service, load)
+        .with_cores(cores)
+        .with_service_label("product")
+        .with_backend(
+            stable,
+            "product",
+            BackendProfile::healthy(Duration::from_millis(8)),
+        )
+        .with_queued_backend(
+            canary,
+            "product-a",
+            QueuedBackend::new(canary_service)
+                .with_replicas(replicas)
+                .with_queue_capacity(32)
+                .with_timeout(CANARY_TIMEOUT),
+        );
+
+    let store = SharedMetricStore::new();
+    let mut engine = BifrostEngine::new(EngineConfig::default().with_seed(seed));
+    engine.register_store_provider("prometheus", store.clone());
+    engine.register_proxy(service, stable);
+    // The scenario holds one routing configuration for the whole run, so
+    // the proxy is configured directly instead of through a strategy: a
+    // sticky-free canary split, plus the dark-launch rule when requested.
+    let split = TrafficSplit::canary(
+        stable,
+        canary,
+        Percentage::new(CANARY_SHARE).expect("valid"),
+    )
+    .expect("valid split");
+    let mut config = ProxyConfig::new(service, stable)
+        .with_revision(1)
+        .with_rule(ProxyRule::split(
+            split,
+            false,
+            UserSelector::All,
+            RoutingMode::CookieBased,
+        ));
+    if dark {
+        config = config.with_rule(ProxyRule::shadow(DarkLaunchRoute::new(
+            stable,
+            canary,
+            Percentage::new(DARK_SHARE).expect("valid"),
+        )));
+    }
+    engine
+        .proxy(service)
+        .expect("registered")
+        .write()
+        .apply_config(config);
+
+    let traffic = engine.attach_traffic(profile, store.clone());
+    engine.run_to_completion(SimTime::from_secs(DURATION_SECS + 30));
+
+    let stats = engine.traffic_stats(traffic).expect("attached");
+    let p95_ms = store
+        .evaluate(
+            &RangeQuery::new("request_latency_p95_ms")
+                .with_label("version", "product-a")
+                .over_window_secs(DURATION_SECS + 30)
+                .aggregate(Aggregation::Max),
+            SimTime::from_secs(DURATION_SECS + 30).to_timestamp(),
+        )
+        .unwrap_or(0.0);
+    let offered = stats.per_version.get(&canary).copied().unwrap_or(0)
+        + stats.shadow_per_version.get(&canary).copied().unwrap_or(0);
+    let dropped = stats.shed_per_version.get(&canary).copied().unwrap_or(0) + stats.shadow_shed;
+    let shed_pct = if offered == 0 {
+        0.0
+    } else {
+        dropped as f64 / offered as f64 * 100.0
+    };
+    BackendsPointResult {
+        replicas,
+        dark,
+        requests: stats.requests,
+        p95_ms,
+        shed_pct,
+        peak_utilization: stats.peak_utilization.get(&canary).copied().unwrap_or(0.0),
+    }
+}
+
+/// The point label of one scenario and metric, e.g. `replicas=2+dark20/p95_ms`.
+pub fn point_label(replicas: usize, dark: bool, metric: &str) -> String {
+    if dark {
+        format!("replicas={replicas}+dark20/{metric}")
+    } else {
+        format!("replicas={replicas}/{metric}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_story_holds_and_is_deterministic() {
+        let thin = run_point_seeded(1, false, 30_000, Seed::new(42));
+        let wide = run_point_seeded(4, false, 30_000, Seed::new(42));
+        assert!(thin.requests > 25_000);
+        // One replica saturates: p95 near the timeout, double-digit shed.
+        assert!(
+            thin.p95_ms > CANARY_TIMEOUT.as_secs_f64() * 1_000.0 * 0.8,
+            "thin p95 {}",
+            thin.p95_ms
+        );
+        assert!(thin.shed_pct > 5.0, "thin shed {}", thin.shed_pct);
+        assert!((thin.peak_utilization - 100.0).abs() < 1e-9);
+        // Four replicas absorb the same load.
+        assert_eq!(wide.shed_pct, 0.0);
+        assert!(wide.p95_ms < thin.p95_ms / 3.0, "wide p95 {}", wide.p95_ms);
+        // Deterministic per seed.
+        assert_eq!(thin, run_point_seeded(1, false, 30_000, Seed::new(42)));
+    }
+
+    #[test]
+    fn dark_launch_heats_the_same_scenario() {
+        let plain = run_point_seeded(2, false, 30_000, Seed::new(7));
+        let dark = run_point_seeded(2, true, 30_000, Seed::new(7));
+        // The dark launch pushes two replicas over capacity.
+        assert!(
+            dark.shed_pct > plain.shed_pct,
+            "dark {} vs plain {}",
+            dark.shed_pct,
+            plain.shed_pct
+        );
+        assert!(dark.p95_ms >= plain.p95_ms);
+        assert!(dark.peak_utilization > plain.peak_utilization);
+    }
+
+    #[test]
+    fn point_labels() {
+        assert_eq!(point_label(1, false, "p95_ms"), "replicas=1/p95_ms");
+        assert_eq!(
+            point_label(4, true, "shed_pct"),
+            "replicas=4+dark20/shed_pct"
+        );
+    }
+}

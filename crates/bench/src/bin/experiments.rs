@@ -28,11 +28,13 @@ use bifrost_bench::{fig6, fig7_fig8, fig9_fig10, table1};
 use bifrost_bench::{report, suite, BenchReport};
 use bifrost_core::seed::Seed;
 
-const USAGE: &str = "usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|traffic|sessions|all> \
+const USAGE: &str = "usage: experiments <fig6|table1|fig7|fig8|fig9|fig10|traffic|sessions|backends|all> \
 [--quick] [--max N] [--requests N] [--trials N] [--threads M] [--base-seed S] [--json [path]]\n       \
 experiments gate --candidate <report.json> --baseline <baseline.json> [--threshold 0.2]\n       \
 experiments list-points <figure>\n       \
-experiments check-baselines [dir]      validate every baseline*.json in dir (default crates/bench)";
+experiments check-baselines [dir]      validate every baseline*.json in dir (default crates/bench)\n\n\
+--trials and --threads must be at least 1; --threads defaults to the machine's\n\
+available parallelism (thread count never changes any result).";
 
 /// Parsed command-line options shared by the figure commands.
 struct Options {
@@ -55,6 +57,19 @@ fn value_of(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+/// Parses a count flag that must be at least 1 when given: an explicit 0
+/// (or garbage) is a usage error, not a silently clamped degenerate run.
+fn parse_count(args: &[String], flag: &str) -> Option<usize> {
+    let value = value_of(args, flag)?;
+    match value.parse::<usize>() {
+        Ok(parsed) if parsed >= 1 => Some(parsed),
+        _ => {
+            eprintln!("{flag} must be a positive integer, got '{value}'\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn parse_options(args: &[String]) -> Options {
     let parse = |flag: &str| value_of(args, flag).and_then(|v| v.parse::<usize>().ok());
     let json = args
@@ -62,13 +77,18 @@ fn parse_options(args: &[String]) -> Options {
         .position(|a| a == "--json")
         .map(|i| args.get(i + 1).filter(|v| !v.starts_with("--")).cloned());
     let base_seed = value_of(args, "--base-seed").and_then(|v| v.parse::<u64>().ok());
+    let trials = parse_count(args, "--trials").unwrap_or(1);
+    // Trials are seed-deterministic and independent, so the only sensible
+    // default is to use the machine (run_trials caps workers at the trial
+    // count, so single-trial runs stay serial).
+    let threads = parse_count(args, "--threads").unwrap_or_else(RunnerConfig::auto_threads);
     Options {
         quick: args.iter().any(|a| a == "--quick"),
         max: parse("--max"),
         requests: parse("--requests"),
         runner: RunnerConfig::default()
-            .with_trials(parse("--trials").unwrap_or(1))
-            .with_threads(parse("--threads").unwrap_or(1))
+            .with_trials(trials)
+            .with_threads(threads)
             .with_base_seed(base_seed.map(Seed::new).unwrap_or_default()),
         seeded: base_seed.is_some(),
         json,
@@ -130,9 +150,9 @@ fn run_single_trial(command: &str, options: &Options) {
 fn run_figure_command(command: &str, options: &Options) {
     // Multi-trial mode, an explicit JSON request, or an explicit seed goes
     // through the suite; the bare single-trial invocation keeps the
-    // original paper-shaped output. The traffic and sessions figures are
-    // suite-only (they have no paper-shaped legacy table).
-    if matches!(command, "traffic" | "sessions")
+    // original paper-shaped output. The traffic, sessions, and backends
+    // figures are suite-only (they have no paper-shaped legacy table).
+    if matches!(command, "traffic" | "sessions" | "backends")
         || options.runner.trials > 1
         || options.json.is_some()
         || options.seeded
@@ -267,7 +287,7 @@ fn main() {
         }
         "check-baselines" => run_check_baselines(args.get(1).map(String::as_str)),
         "fig6" | "fig7" | "fig8" | "fig7_fig8" | "fig9" | "fig10" | "fig9_fig10" | "traffic"
-        | "sessions" => {
+        | "sessions" | "backends" => {
             run_figure_command(command, &options);
         }
         "all" => {
@@ -278,7 +298,7 @@ fn main() {
                 eprintln!("note: 'all' ignores the explicit path '{path}' and writes BENCH_<fig>.json per figure");
                 options.json = Some(None);
             }
-            for figure in ["fig6", "fig7", "fig9", "traffic", "sessions"] {
+            for figure in ["fig6", "fig7", "fig9", "traffic", "sessions", "backends"] {
                 run_figure_command(figure, &options);
             }
             let rows = table1::run(options.quick);

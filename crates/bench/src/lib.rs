@@ -14,6 +14,7 @@
 //! | Figure 10 (enactment delay vs parallel checks) | [`fig9_fig10::run`] |
 //! | `traffic` (request-level routing accuracy, latency, and per-request proxy CPU — no paper counterpart) | [`traffic_experiments::run_point_seeded`] |
 //! | `sessions` (sticky-routing throughput vs session-store shard count — no paper counterpart) | [`session_experiments::run_sweep_seeded`] |
+//! | `backends` (canary overload: p95 and shed rate vs replica count, with/without a dark launch — no paper counterpart) | [`backend_experiments::run_point_seeded`] |
 //!
 //! Each harness returns plain data structures so the binary can print them
 //! as text tables and tests can assert on the qualitative shape (who wins,
@@ -23,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backend_experiments;
 pub mod engine_experiments;
 pub mod json;
 pub mod overhead_experiments;
@@ -32,6 +34,7 @@ pub mod session_experiments;
 pub mod suite;
 pub mod traffic_experiments;
 
+pub use backend_experiments::BackendsPointResult;
 pub use engine_experiments::{fig7_fig8, fig9_fig10, ParallelChecksPoint, ParallelStrategiesPoint};
 pub use json::{Json, JsonError};
 pub use overhead_experiments::{fig6, table1, Fig6Series, Table1Row};

@@ -65,6 +65,15 @@ impl RunnerConfig {
         self.base_seed = base_seed;
         self
     }
+
+    /// The machine's available parallelism (minimum 1) — the sensible
+    /// default worker-thread count for multi-trial runs, since trials are
+    /// independent and thread count never changes results.
+    pub fn auto_threads() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
 }
 
 /// The result of one trial: its identity, wall-clock cost, and the value
@@ -316,12 +325,26 @@ impl BenchReport {
                 samples,
             });
         }
+        // A report without a positive trial/thread count is malformed —
+        // rejecting it here beats silently propagating 0 into downstream
+        // statistics (a zero count previously slipped through as a
+        // degenerate default).
+        let counted = |key: &str| -> Result<usize, String> {
+            let value = json
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing numeric field '{key}'"))?;
+            if value == 0 {
+                return Err(format!("field '{key}' must be at least 1, got 0"));
+            }
+            Ok(value as usize)
+        };
         Ok(Self {
             figure: str_field("figure")?,
             quick: matches!(json.get("quick"), Some(Json::Bool(true))),
             base_seed: json.get("base_seed").and_then(Json::as_u64).unwrap_or(0),
-            trials: json.get("trials").and_then(Json::as_u64).unwrap_or(0) as usize,
-            threads: json.get("threads").and_then(Json::as_u64).unwrap_or(0) as usize,
+            trials: counted("trials")?,
+            threads: counted("threads")?,
             wall_clock_secs: json
                 .get("wall_clock_secs")
                 .and_then(Json::as_f64)
@@ -563,6 +586,22 @@ mod tests {
         assert!(BenchReport::parse("not json").is_err());
         assert!(BenchReport::parse("{}").is_err());
         assert!(BenchReport::parse(r#"{"figure":"f","points":[{"stats":{}}]}"#).is_err());
+        // Missing or zero trial/thread counts are rejected explicitly
+        // instead of degenerating to 0.
+        let err = BenchReport::parse(r#"{"figure":"f","points":[]}"#).unwrap_err();
+        assert!(err.contains("trials"), "{err}");
+        let err =
+            BenchReport::parse(r#"{"figure":"f","trials":0,"threads":2,"points":[]}"#).unwrap_err();
+        assert!(err.contains("at least 1"), "{err}");
+        let err =
+            BenchReport::parse(r#"{"figure":"f","trials":2,"threads":0,"points":[]}"#).unwrap_err();
+        assert!(err.contains("threads"), "{err}");
+        assert!(BenchReport::parse(r#"{"figure":"f","trials":2,"threads":2,"points":[]}"#).is_ok());
+    }
+
+    #[test]
+    fn auto_threads_is_positive() {
+        assert!(RunnerConfig::auto_threads() >= 1);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! All reported metrics are **lower-is-better** (milliseconds or seconds of
 //! latency/delay/overhead), which is what the perf-regression gate assumes.
 
+use crate::backend_experiments::{self, REPLICA_SWEEP};
 use crate::engine_experiments::{fig7_fig8, fig9_fig10};
 use crate::overhead_experiments::fig6;
 use crate::runner::{self, BenchReport, KeyedMeasurements, RunnerConfig};
@@ -29,6 +30,7 @@ pub const FIGURES: &[&str] = &[
     "fig9_fig10",
     "traffic",
     "sessions",
+    "backends",
 ];
 
 /// Runs one figure as a multi-trial experiment. Returns `None` for an
@@ -57,6 +59,10 @@ pub fn run_figure(
         "traffic" => {
             let requests = requests.unwrap_or(if quick { 20_000 } else { 100_000 });
             Box::new(move |seed| traffic_trial(requests, seed))
+        }
+        "backends" => {
+            let requests = requests.unwrap_or(if quick { 60_000 } else { 150_000 });
+            Box::new(move |seed| backends_trial(requests, seed))
         }
         "sessions" => {
             let mut sessions_config = if quick {
@@ -154,6 +160,28 @@ fn traffic_trial(requests: usize, seed: Seed) -> KeyedMeasurements {
     ]
 }
 
+/// One trial of the queued-backend overload experiment: the canary's worst
+/// per-tick p95 latency and shed percentage at every replica count of the
+/// sweep, with and without a 20% dark launch feeding the same version. All
+/// lower-is-better and deterministic per seed.
+fn backends_trial(requests: usize, seed: Seed) -> KeyedMeasurements {
+    let mut measurements = Vec::new();
+    for &replicas in REPLICA_SWEEP {
+        for dark in [false, true] {
+            let point = backend_experiments::run_point_seeded(replicas, dark, requests, seed);
+            measurements.push((
+                backend_experiments::point_label(replicas, dark, "p95_ms"),
+                point.p95_ms,
+            ));
+            measurements.push((
+                backend_experiments::point_label(replicas, dark, "shed_pct"),
+                point.shed_pct,
+            ));
+        }
+    }
+    measurements
+}
+
 /// One trial of the sticky-session sharding experiment: wall-clock
 /// nanoseconds per routed request at every shard count of the sweep, plus
 /// each multi-shard count's time relative to the same trial's 1-shard run.
@@ -242,6 +270,18 @@ pub fn point_names(figure: &str) -> Option<Vec<String>> {
             );
             Some(names)
         }
+        "backends" => Some(
+            REPLICA_SWEEP
+                .iter()
+                .flat_map(|&replicas| {
+                    [false, true].into_iter().flat_map(move |dark| {
+                        ["p95_ms", "shed_pct"].into_iter().map(move |metric| {
+                            backend_experiments::point_label(replicas, dark, metric)
+                        })
+                    })
+                })
+                .collect(),
+        ),
         _ => None,
     }
 }
@@ -289,6 +329,27 @@ mod tests {
         assert!(point_names("sessions")
             .unwrap()
             .contains(&"shards=16/time_vs_1shard".to_string()));
+        assert!(point_names("backends")
+            .unwrap()
+            .contains(&"replicas=2+dark20/shed_pct".to_string()));
+        assert_eq!(point_names("backends").unwrap().len(), 12);
+    }
+
+    #[test]
+    fn backends_report_has_the_expected_points() {
+        let config = RunnerConfig::default();
+        let report = run_figure("backends", true, None, Some(8_000), &config).unwrap();
+        assert_eq!(report.figure, "backends");
+        for point in point_names("backends").unwrap() {
+            let stats = report
+                .point(&point)
+                .unwrap_or_else(|| panic!("missing {point}"));
+            assert!(stats.stats.mean.is_finite(), "{point}");
+        }
+        // The undersized canary degrades measurably more than the wide one.
+        let thin = report.point("replicas=1/p95_ms").unwrap().stats.mean;
+        let wide = report.point("replicas=4/p95_ms").unwrap().stats.mean;
+        assert!(thin > wide, "thin {thin} vs wide {wide}");
     }
 
     #[test]

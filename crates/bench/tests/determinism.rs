@@ -230,6 +230,41 @@ fn shard_count_does_not_change_engine_traffic_results() {
 }
 
 #[test]
+fn backends_figure_is_byte_identical_across_runner_threads() {
+    // The queued-backend figure derives everything (arrival plan, routing
+    // draws, primary and shadow demand jitter, queue/shed decisions) from
+    // the per-trial seed, so its per-point samples must match to the byte
+    // across 1, 4, and 8 runner threads.
+    let base = RunnerConfig::default()
+        .with_trials(3)
+        .with_base_seed(Seed::new(33));
+    let serial =
+        suite::run_figure("backends", true, None, Some(6_000), &base.with_threads(1)).unwrap();
+    for threads in [4usize, 8] {
+        let parallel = suite::run_figure(
+            "backends",
+            true,
+            None,
+            Some(6_000),
+            &base.with_threads(threads),
+        )
+        .unwrap();
+        assert_eq!(serial.points.len(), parallel.points.len());
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(a.point, b.point);
+            assert_eq!(
+                format!("{:?}", a.samples),
+                format!("{:?}", b.samples),
+                "point {} diverged at {} runner threads",
+                a.point,
+                threads
+            );
+            assert_eq!(a.stats, b.stats);
+        }
+    }
+}
+
+#[test]
 fn traffic_figure_is_byte_identical_across_thread_counts() {
     // The request-level traffic pipeline derives everything (arrival plan,
     // routing draws, backend behaviour) from the per-trial seed, so the

@@ -5,13 +5,18 @@ use bifrost_bench::runner::RunnerConfig;
 use bifrost_bench::{render_bench_report, suite};
 use bifrost_casestudy::prelude::*;
 use bifrost_core::seed::Seed;
-use bifrost_engine::{BifrostEngine, EngineConfig};
+use bifrost_dsl::{BackendDoc, EngineDoc};
+use bifrost_engine::{
+    BackendDefaults, BackendProfile, BifrostEngine, EngineConfig, QueuedBackend, TrafficProfile,
+};
 use bifrost_metrics::SharedMetricStore;
 use bifrost_simnet::SimTime;
+use bifrost_workload::LoadProfile;
 use std::error::Error;
 use std::fmt;
 use std::fs;
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -57,19 +62,26 @@ USAGE:
     bifrost validate <strategy.yml>     check a strategy file and print its summary
     bifrost dot <strategy.yml>          render the strategy's automaton as Graphviz dot
     bifrost run <strategy.yml> [--verbose] [--deadline <secs>] [--shards N]
+                [--traffic <rps>] [--replicas N] [--queue-capacity N] [--timeout-ms N]
                                         enact the strategy against the simulated deployment
                                         (--shards overrides the session-store shard count,
-                                        also settable via the file's engine.session_shards)
+                                        also settable via the file's engine.session_shards;
+                                        --traffic drives seeded request-level traffic through
+                                        every proxied service, honouring the file's
+                                        engine.tick/cores/backends; --replicas,
+                                        --queue-capacity, and --timeout-ms give versions
+                                        without a backends: entry queued replicas)
     bifrost demo [--verbose]            run the product-replacement evaluation scenario
-    bifrost bench [--fig <fig6|fig7|fig9|traffic|sessions>] [--trials N] [--threads M]
-                  [--base-seed S] [--max N] [--requests N] [--quick]
+    bifrost bench [--fig <fig6|fig7|fig9|traffic|sessions|backends>] [--trials N]
+                  [--threads M] [--base-seed S] [--max N] [--requests N] [--quick]
                   [--json <out.json>]
                                         run a paper figure as a multi-trial parallel
                                         experiment with deterministic per-trial seeds
+                                        (--threads defaults to available parallelism)
     bifrost help                        show this message";
 
 /// A parsed CLI invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Validate a strategy file.
     Validate {
@@ -93,6 +105,17 @@ pub enum Command {
         /// to the strategy file's `engine.session_shards`, then the engine
         /// default.
         session_shards: Option<usize>,
+        /// Request rate of seeded request-level traffic to drive through
+        /// every proxied service (`--traffic`); `None` enacts without
+        /// traffic (the historical behaviour).
+        traffic_rps: Option<f64>,
+        /// Default replica count for versions without an explicit
+        /// `backends:` entry (`--replicas`).
+        backend_replicas: Option<usize>,
+        /// Default per-replica queue bound (`--queue-capacity`).
+        backend_queue: Option<usize>,
+        /// Default backend timeout in milliseconds (`--timeout-ms`).
+        backend_timeout_ms: Option<u64>,
     },
     /// Run the built-in product-replacement demo scenario.
     Demo {
@@ -152,6 +175,10 @@ impl Command {
                 let mut verbose = false;
                 let mut deadline_secs = 7 * 24 * 3_600;
                 let mut session_shards = None;
+                let mut traffic_rps = None;
+                let mut backend_replicas = None;
+                let mut backend_queue = None;
+                let mut backend_timeout_ms = None;
                 let rest: Vec<&str> = iter.collect();
                 let mut i = 0;
                 while i < rest.len() {
@@ -175,6 +202,42 @@ impl Command {
                                 .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
                             session_shards = Some(shards);
                         }
+                        "--traffic" => {
+                            i += 1;
+                            let rps: f64 = rest
+                                .get(i)
+                                .and_then(|s| s.parse().ok())
+                                .filter(|v: &f64| v.is_finite() && *v > 0.0)
+                                .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
+                            traffic_rps = Some(rps);
+                        }
+                        "--replicas" => {
+                            i += 1;
+                            let replicas: usize = rest
+                                .get(i)
+                                .and_then(|s| s.parse().ok())
+                                .filter(|v| (1..=bifrost_dsl::ast::MAX_REPLICAS).contains(v))
+                                .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
+                            backend_replicas = Some(replicas);
+                        }
+                        "--queue-capacity" => {
+                            i += 1;
+                            let queue: usize = rest
+                                .get(i)
+                                .and_then(|s| s.parse().ok())
+                                .filter(|v| (1..=bifrost_dsl::ast::MAX_QUEUE_CAPACITY).contains(v))
+                                .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
+                            backend_queue = Some(queue);
+                        }
+                        "--timeout-ms" => {
+                            i += 1;
+                            let timeout: u64 = rest
+                                .get(i)
+                                .and_then(|s| s.parse().ok())
+                                .filter(|v| *v >= 1)
+                                .ok_or_else(|| CliError::Usage(USAGE.to_string()))?;
+                            backend_timeout_ms = Some(timeout);
+                        }
                         _ => return Err(CliError::Usage(USAGE.to_string())),
                     }
                     i += 1;
@@ -184,6 +247,10 @@ impl Command {
                     verbose,
                     deadline_secs,
                     session_shards,
+                    traffic_rps,
+                    backend_replicas,
+                    backend_queue,
+                    backend_timeout_ms,
                 })
             }
             Some("demo") => {
@@ -194,7 +261,10 @@ impl Command {
                 let rest: Vec<&str> = iter.collect();
                 let mut figure = "fig7".to_string();
                 let mut trials = 1usize;
-                let mut threads = 1usize;
+                // Trials are seed-deterministic and independent, so default
+                // to the machine's parallelism (the runner caps workers at
+                // the trial count anyway).
+                let mut threads = RunnerConfig::auto_threads();
                 let mut base_seed = Seed::DEFAULT.value();
                 let mut max = None;
                 let mut requests = None;
@@ -202,6 +272,11 @@ impl Command {
                 let mut json = None;
                 let mut i = 0;
                 let usage = || CliError::Usage(USAGE.to_string());
+                // An explicit 0 is a usage error, not a silently clamped
+                // degenerate run.
+                let count = |text: &str| -> Result<usize, CliError> {
+                    text.parse().ok().filter(|v| *v >= 1).ok_or_else(usage)
+                };
                 while i < rest.len() {
                     let take = |i: &mut usize| -> Result<&str, CliError> {
                         *i += 1;
@@ -209,8 +284,8 @@ impl Command {
                     };
                     match rest[i] {
                         "--fig" | "--figure" => figure = take(&mut i)?.to_string(),
-                        "--trials" => trials = take(&mut i)?.parse().map_err(|_| usage())?,
-                        "--threads" => threads = take(&mut i)?.parse().map_err(|_| usage())?,
+                        "--trials" => trials = count(take(&mut i)?)?,
+                        "--threads" => threads = count(take(&mut i)?)?,
                         "--base-seed" => base_seed = take(&mut i)?.parse().map_err(|_| usage())?,
                         "--max" => max = Some(take(&mut i)?.parse().map_err(|_| usage())?),
                         "--requests" => {
@@ -296,13 +371,37 @@ pub fn run_command(command: &Command) -> Result<CommandOutput, CliError> {
             verbose,
             deadline_secs,
             session_shards,
+            traffic_rps,
+            backend_replicas,
+            backend_queue,
+            backend_timeout_ms,
         } => {
             let document = load_document(path)?;
             let strategy = bifrost_dsl::compile(&document)?;
             // CLI flag > strategy file's engine section > engine default.
             let shards = session_shards.or(document.engine.session_shards);
-            let output = enact_strategy(strategy, *verbose, *deadline_secs, shards);
-            Ok(output)
+            // Any backend flag opts profile-only versions into queued
+            // replicas with the given shape.
+            let backend_defaults = (backend_replicas.is_some()
+                || backend_queue.is_some()
+                || backend_timeout_ms.is_some())
+            .then(|| {
+                BackendDefaults::new(
+                    backend_replicas.unwrap_or(1),
+                    backend_queue.unwrap_or(bifrost_engine::backends::DEFAULT_QUEUE_CAPACITY),
+                    backend_timeout_ms
+                        .map(Duration::from_millis)
+                        .unwrap_or(bifrost_engine::backends::DEFAULT_BACKEND_TIMEOUT),
+                )
+            });
+            let options = RunOptions {
+                verbose: *verbose,
+                deadline_secs: *deadline_secs,
+                session_shards: shards,
+                traffic_rps: *traffic_rps,
+                backend_defaults,
+            };
+            Ok(enact_strategy(strategy, &document.engine, &options))
         }
         Command::Demo { verbose } => Ok(run_demo(*verbose)),
         Command::Bench {
@@ -367,44 +466,120 @@ fn load_strategy(path: &PathBuf) -> Result<bifrost_core::Strategy, CliError> {
     Ok(bifrost_dsl::compile(&load_document(path)?)?)
 }
 
-/// Enacts a compiled strategy against an engine with an in-process metric
-/// store. Because no application feeds the store, checks without data fail,
-/// which makes this mode most useful for dry-running strategies whose phases
-/// have explicit durations and no checks, and for inspecting the enactment
-/// timeline.
-fn enact_strategy(
-    strategy: bifrost_core::Strategy,
+/// How `bifrost run` enacts a strategy.
+struct RunOptions {
     verbose: bool,
     deadline_secs: u64,
     session_shards: Option<usize>,
+    traffic_rps: Option<f64>,
+    backend_defaults: Option<BackendDefaults>,
+}
+
+/// Builds the queued backend of one `engine: backends:` declaration.
+fn queued_from_doc(doc: &BackendDoc) -> QueuedBackend {
+    QueuedBackend::new(Duration::from_millis(doc.service_time_ms))
+        .with_error_rate(doc.error_rate)
+        .with_replicas(doc.replicas)
+        .with_queue_capacity(doc.queue_capacity)
+        .with_timeout(Duration::from_millis(doc.timeout_ms))
+}
+
+/// Enacts a compiled strategy against an engine with an in-process metric
+/// store. Without `--traffic` no application feeds the store, so checks
+/// without data fail — useful for dry-running check-free strategies and
+/// inspecting the enactment timeline. With `--traffic` a seeded
+/// request-level workload flows through every proxied service and its
+/// backends (shaped by the file's `engine:` section), so checks evaluate
+/// observed series: latency, errors, shed rate, utilisation.
+fn enact_strategy(
+    strategy: bifrost_core::Strategy,
+    engine_doc: &EngineDoc,
+    options: &RunOptions,
 ) -> CommandOutput {
     let store = SharedMetricStore::new();
     let mut config = EngineConfig::default();
-    if let Some(shards) = session_shards {
+    if let Some(shards) = options.session_shards {
         config = config.with_session_shards(shards);
     }
+    if let Some(defaults) = options.backend_defaults {
+        config = config.with_backend_defaults(defaults);
+    }
     let mut engine = BifrostEngine::new(config);
-    engine.register_store_provider("prometheus", store);
+    engine.register_store_provider("prometheus", store.clone());
     // Register one proxy per service, defaulting to the first version.
     let registrations: Vec<_> = strategy
         .services()
         .services()
         .map(|(id, _)| (id, strategy.services().versions_of(id)))
         .collect();
-    for (service, versions) in registrations {
+    for (service, versions) in &registrations {
         if let Some(default) = versions.first() {
-            engine.register_proxy(service, *default);
+            engine.register_proxy(*service, *default);
+        }
+    }
+    // Attach a traffic stream per proxied service, its backends shaped by
+    // the strategy file's engine section.
+    let mut streams = Vec::new();
+    if let Some(rps) = options.traffic_rps {
+        let nominal = strategy.nominal_duration().as_secs() + 30;
+        let duration = Duration::from_secs(options.deadline_secs.min(nominal));
+        let catalog = strategy.services();
+        for (service_id, versions) in &registrations {
+            let service_name = catalog
+                .service(*service_id)
+                .map(|s| s.name().to_string())
+                .unwrap_or_else(|| service_id.to_string());
+            let load = LoadProfile::paper_profile(duration).with_rate(rps);
+            let mut profile =
+                TrafficProfile::new(*service_id, load).with_service_label(service_name.clone());
+            if let Some(tick) = engine_doc.tick_secs {
+                profile = profile.with_tick(Duration::from_secs_f64(tick));
+            }
+            if let Some(cores) = engine_doc.cores {
+                profile = profile.with_cores(cores);
+            }
+            for vid in versions {
+                let Some(version) = catalog.version(*vid) else {
+                    continue;
+                };
+                profile = match engine_doc
+                    .backends
+                    .iter()
+                    .find(|b| b.matches(&service_name, version.name()))
+                {
+                    Some(doc) => {
+                        profile.with_queued_backend(*vid, version.name(), queued_from_doc(doc))
+                    }
+                    None => profile.with_backend(*vid, version.name(), BackendProfile::default()),
+                };
+            }
+            let handle = engine.attach_traffic(profile, store.clone());
+            streams.push((service_name, handle));
         }
     }
     let handle = engine.schedule(strategy, SimTime::ZERO);
-    engine.run_to_completion(SimTime::from_secs(deadline_secs));
-    let dashboard = Dashboard::new().verbose(verbose);
+    engine.run_to_completion(SimTime::from_secs(options.deadline_secs));
+    let dashboard = Dashboard::new().verbose(options.verbose);
     let mut text = dashboard.render(&engine);
     let exit_code = match engine.report(handle) {
         Some(report) if report.succeeded() => 0,
         Some(_) => 1,
         None => 2,
     };
+    for (service, stream) in streams {
+        let Some(stats) = engine.traffic_stats(stream) else {
+            continue;
+        };
+        text.push_str(&format!(
+            "traffic {service}: {} requests, {} errors, {} shed, {} timed out, mean {:.1}ms, p95 {:.1}ms\n",
+            stats.requests,
+            stats.errors,
+            stats.shed,
+            stats.timed_out,
+            stats.mean_latency_ms(),
+            stats.latency_quantile_ms(0.95),
+        ));
+    }
     text.push_str(&dashboard.progress_line(&engine));
     text.push('\n');
     CommandOutput { text, exit_code }
@@ -477,7 +652,15 @@ mod tests {
                 "--deadline",
                 "600",
                 "--shards",
-                "16"
+                "16",
+                "--traffic",
+                "250.5",
+                "--replicas",
+                "2",
+                "--queue-capacity",
+                "128",
+                "--timeout-ms",
+                "250",
             ]))
             .unwrap(),
             Command::Run {
@@ -485,11 +668,20 @@ mod tests {
                 verbose: true,
                 deadline_secs: 600,
                 session_shards: Some(16),
+                traffic_rps: Some(250.5),
+                backend_replicas: Some(2),
+                backend_queue: Some(128),
+                backend_timeout_ms: Some(250),
             }
         );
         assert!(Command::parse(&strings(&["run", "s.yml", "--shards", "0"])).is_err());
         assert!(Command::parse(&strings(&["run", "s.yml", "--shards", "99999999999"])).is_err());
         assert!(Command::parse(&strings(&["run", "s.yml", "--shards"])).is_err());
+        assert!(Command::parse(&strings(&["run", "s.yml", "--traffic", "0"])).is_err());
+        assert!(Command::parse(&strings(&["run", "s.yml", "--traffic", "-5"])).is_err());
+        assert!(Command::parse(&strings(&["run", "s.yml", "--replicas", "0"])).is_err());
+        assert!(Command::parse(&strings(&["run", "s.yml", "--queue-capacity", "0"])).is_err());
+        assert!(Command::parse(&strings(&["run", "s.yml", "--timeout-ms", "0"])).is_err());
         assert_eq!(
             Command::parse(&strings(&["demo", "-v"])).unwrap(),
             Command::Demo { verbose: true }
@@ -555,6 +747,10 @@ strategy:
             verbose: false,
             deadline_secs: 3_600,
             session_shards: Some(4),
+            traffic_rps: None,
+            backend_replicas: None,
+            backend_queue: None,
+            backend_timeout_ms: None,
         })
         .unwrap();
         // The strategy has no checks, so it auto-passes and succeeds.
@@ -592,7 +788,9 @@ strategy:
             Command::Bench {
                 figure: "fig7".into(),
                 trials: 1,
-                threads: 1,
+                // Defaults to the machine's parallelism (thread count
+                // never changes results).
+                threads: RunnerConfig::auto_threads(),
                 base_seed: 42,
                 max: None,
                 requests: None,
@@ -634,6 +832,57 @@ strategy:
         assert!(Command::parse(&strings(&["bench", "--trials"])).is_err());
         assert!(Command::parse(&strings(&["bench", "--trials", "x"])).is_err());
         assert!(Command::parse(&strings(&["bench", "--bogus"])).is_err());
+        // Explicit zeros are usage errors, not silently clamped runs.
+        assert!(Command::parse(&strings(&["bench", "--trials", "0"])).is_err());
+        assert!(Command::parse(&strings(&["bench", "--threads", "0"])).is_err());
+    }
+
+    #[test]
+    fn run_with_traffic_drives_queued_backends_from_the_engine_section() {
+        let dir = std::env::temp_dir().join(format!("bifrost-cli-traffic-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("traffic.yml");
+        fs::write(
+            &path,
+            r#"
+name: traffic-run
+engine:
+  tick: 0.5
+  cores: 4
+  backends:
+    - service: search
+      version: v2
+      service_time_ms: 5
+      replicas: 2
+      queue_capacity: 64
+      timeout_ms: 250
+strategy:
+  phases:
+    - phase: canary
+      service: search
+      stable: v1
+      candidate: v2
+      traffic: 20
+      duration: 30
+"#,
+        )
+        .unwrap();
+        let output = run_command(&Command::Run {
+            path,
+            verbose: false,
+            deadline_secs: 600,
+            session_shards: None,
+            traffic_rps: Some(200.0),
+            backend_replicas: Some(4),
+            backend_queue: None,
+            backend_timeout_ms: None,
+        })
+        .unwrap();
+        assert_eq!(output.exit_code, 0, "output: {}", output.text);
+        // The traffic summary line reports routed volume and latency.
+        assert!(output.text.contains("traffic search:"), "{}", output.text);
+        assert!(output.text.contains("requests"), "{}", output.text);
+        fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -731,6 +980,10 @@ strategy:
             verbose: false,
             deadline_secs: 30 * 86_400,
             session_shards: None,
+            traffic_rps: None,
+            backend_replicas: None,
+            backend_queue: None,
+            backend_timeout_ms: None,
         })
         .unwrap();
         assert_eq!(output.exit_code, 0);

@@ -145,14 +145,63 @@ pub struct PhaseDoc {
     pub checks: Vec<CheckDoc>,
 }
 
+/// Upper bound accepted for the traffic batching tick (seconds).
+pub const MAX_TICK_SECS: f64 = 3_600.0;
+/// Upper bound accepted for the proxy-VM core count.
+pub const MAX_CORES: usize = 1_024;
+/// Upper bound accepted for a backend's replica count.
+pub const MAX_REPLICAS: usize = 1_024;
+/// Upper bound accepted for a backend's per-replica queue capacity.
+pub const MAX_QUEUE_CAPACITY: usize = 1_000_000;
+/// Upper bound accepted for millisecond-valued backend fields
+/// (`service_time_ms`, `timeout_ms`).
+pub const MAX_BACKEND_MS: i64 = 3_600_000;
+
+/// The queued-backend shape of one service version, declared in the
+/// `engine: backends:` section. Used by `bifrost run --traffic` to give
+/// the version capacity-bounded replicas instead of the degenerate
+/// unlimited-capacity model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BackendDoc {
+    /// The service the version belongs to; `None` matches the version name
+    /// in any service.
+    pub service: Option<String>,
+    /// The version name.
+    pub version: String,
+    /// Mean service demand per request in milliseconds.
+    pub service_time_ms: u64,
+    /// Intrinsic error rate of served requests (`0..=1`).
+    pub error_rate: f64,
+    /// Number of single-core replicas.
+    pub replicas: usize,
+    /// Per-replica bound on outstanding requests; arrivals beyond it shed.
+    pub queue_capacity: usize,
+    /// Request deadline in milliseconds.
+    pub timeout_ms: u64,
+}
+
+impl BackendDoc {
+    /// Whether this declaration applies to `version` of `service`.
+    pub fn matches(&self, service: &str, version: &str) -> bool {
+        self.version == version && self.service.as_deref().is_none_or(|s| s == service)
+    }
+}
+
 /// Enactment-engine settings declared in a strategy file. These do not
 /// alter the compiled strategy — they tune the engine the CLI builds to
 /// enact it (and default to the engine's own defaults when absent).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct EngineDoc {
     /// How many ways each proxy shards its sticky-session table
     /// (`session_shards`, minimum 1). `None` keeps the engine default.
     pub session_shards: Option<usize>,
+    /// The traffic batching tick in seconds (`tick`, fractional values
+    /// allowed). `None` keeps the traffic profile's default.
+    pub tick_secs: Option<f64>,
+    /// The proxy VM's core count under request-level traffic (`cores`).
+    pub cores: Option<usize>,
+    /// Per-version queued-backend declarations (`backends`).
+    pub backends: Vec<BackendDoc>,
 }
 
 /// A complete, parsed strategy file.
@@ -273,7 +322,104 @@ fn parse_engine(yaml: &YamlValue) -> Result<EngineDoc, DslError> {
             Some(shards as usize)
         }
     };
-    Ok(EngineDoc { session_shards })
+    let tick_secs = match yaml.get("tick") {
+        None => None,
+        Some(value) => {
+            let tick = value
+                .as_f64()
+                .filter(|v| v.is_finite() && *v > 0.0 && *v <= MAX_TICK_SECS)
+                .ok_or_else(|| {
+                    DslError::invalid(
+                        "engine section",
+                        "tick",
+                        format!("must be a number of seconds in (0, {MAX_TICK_SECS}]"),
+                    )
+                })?;
+            Some(tick)
+        }
+    };
+    let cores = match yaml.get("cores") {
+        None => None,
+        Some(value) => {
+            let cores = value
+                .as_i64()
+                .filter(|v| (1..=MAX_CORES as i64).contains(v))
+                .ok_or_else(|| {
+                    DslError::invalid(
+                        "engine section",
+                        "cores",
+                        format!("must be an integer in 1..={MAX_CORES}"),
+                    )
+                })?;
+            Some(cores as usize)
+        }
+    };
+    let backends = match yaml.get("backends") {
+        None => Vec::new(),
+        Some(backends_yaml) => {
+            let seq = backends_yaml.as_seq().ok_or_else(|| {
+                DslError::invalid("engine section", "backends", "must be a sequence")
+            })?;
+            seq.iter().map(parse_backend).collect::<Result<_, _>>()?
+        }
+    };
+    Ok(EngineDoc {
+        session_shards,
+        tick_secs,
+        cores,
+        backends,
+    })
+}
+
+fn parse_backend(yaml: &YamlValue) -> Result<BackendDoc, DslError> {
+    let version = require_str(yaml, "version", "engine backend")?;
+    let context = format!("engine backend '{version}'");
+    let bounded_ms = |field: &str, default: u64| -> Result<u64, DslError> {
+        match yaml.get(field) {
+            None => Ok(default),
+            Some(value) => value
+                .as_i64()
+                .filter(|v| (1..=MAX_BACKEND_MS).contains(v))
+                .map(|v| v as u64)
+                .ok_or_else(|| {
+                    DslError::invalid(
+                        &context,
+                        field,
+                        format!("must be an integer in 1..={MAX_BACKEND_MS}"),
+                    )
+                }),
+        }
+    };
+    let bounded_count = |field: &str, max: usize, default: usize| -> Result<usize, DslError> {
+        match yaml.get(field) {
+            None => Ok(default),
+            Some(value) => value
+                .as_i64()
+                .filter(|v| (1..=max as i64).contains(v))
+                .map(|v| v as usize)
+                .ok_or_else(|| {
+                    DslError::invalid(&context, field, format!("must be an integer in 1..={max}"))
+                }),
+        }
+    };
+    let error_rate = match yaml.get("error_rate") {
+        None => 0.0,
+        Some(value) => value
+            .as_f64()
+            .filter(|v| (0.0..=1.0).contains(v))
+            .ok_or_else(|| {
+                DslError::invalid(&context, "error_rate", "must be a number in 0..=1")
+            })?,
+    };
+    Ok(BackendDoc {
+        service: yaml.get("service").and_then(YamlValue::scalar_to_string),
+        version,
+        service_time_ms: bounded_ms("service_time_ms", 10)?,
+        error_rate,
+        replicas: bounded_count("replicas", MAX_REPLICAS, 1)?,
+        queue_capacity: bounded_count("queue_capacity", MAX_QUEUE_CAPACITY, 64)?,
+        timeout_ms: bounded_ms("timeout_ms", 1_000)?,
+    })
 }
 
 fn parse_phase(yaml: &YamlValue) -> Result<PhaseDoc, DslError> {
@@ -580,6 +726,95 @@ strategy:
         let doc = StrategyDocument::from_yaml(&yaml::parse(bare).unwrap()).unwrap();
         assert_eq!(doc.engine, EngineDoc::default());
         assert_eq!(doc.engine.session_shards, None);
+    }
+
+    #[test]
+    fn engine_section_parses_tick_cores_and_backends() {
+        let source = r#"
+name: x
+engine:
+  session_shards: 4
+  tick: 0.5
+  cores: 8
+  backends:
+    - service: search
+      version: v2
+      service_time_ms: 8
+      error_rate: 0.05
+      replicas: 2
+      queue_capacity: 128
+      timeout_ms: 250
+    - version: v9
+strategy:
+  phases:
+    - phase: canary
+      service: search
+      stable: a
+      candidate: b
+"#;
+        let doc = StrategyDocument::from_yaml(&yaml::parse(source).unwrap()).unwrap();
+        assert_eq!(doc.engine.tick_secs, Some(0.5));
+        assert_eq!(doc.engine.cores, Some(8));
+        assert_eq!(doc.engine.backends.len(), 2);
+        let backend = &doc.engine.backends[0];
+        assert_eq!(backend.service.as_deref(), Some("search"));
+        assert_eq!(backend.version, "v2");
+        assert_eq!(backend.service_time_ms, 8);
+        assert_eq!(backend.error_rate, 0.05);
+        assert_eq!(backend.replicas, 2);
+        assert_eq!(backend.queue_capacity, 128);
+        assert_eq!(backend.timeout_ms, 250);
+        assert!(backend.matches("search", "v2"));
+        assert!(!backend.matches("product", "v2"));
+        assert!(!backend.matches("search", "v1"));
+        // Omitted fields take the documented defaults; no service matches
+        // the version name anywhere.
+        let sparse = &doc.engine.backends[1];
+        assert_eq!(sparse.service, None);
+        assert_eq!(sparse.service_time_ms, 10);
+        assert_eq!(sparse.error_rate, 0.0);
+        assert_eq!(sparse.replicas, 1);
+        assert_eq!(sparse.queue_capacity, 64);
+        assert_eq!(sparse.timeout_ms, 1_000);
+        assert!(sparse.matches("anything", "v9"));
+    }
+
+    #[test]
+    fn engine_section_rejects_invalid_tick_cores_and_backends() {
+        let cases = [
+            ("tick: 0", "tick"),
+            ("tick: -1.5", "tick"),
+            ("tick: lots", "tick"),
+            ("tick: 99999", "tick"),
+            ("cores: 0", "cores"),
+            ("cores: 99999", "cores"),
+            ("backends: 7", "backends"),
+            ("backends:\n    - service: s", "version"),
+            ("backends:\n    - version: v\n      replicas: 0", "replicas"),
+            (
+                "backends:\n    - version: v\n      error_rate: 1.5",
+                "error_rate",
+            ),
+            (
+                "backends:\n    - version: v\n      queue_capacity: 0",
+                "queue_capacity",
+            ),
+            (
+                "backends:\n    - version: v\n      timeout_ms: 0",
+                "timeout_ms",
+            ),
+            (
+                "backends:\n    - version: v\n      service_time_ms: -4",
+                "service_time_ms",
+            ),
+        ];
+        for (bad, field) in cases {
+            let source = format!(
+                "name: x\nengine:\n  {bad}\nstrategy:\n  phases:\n    - phase: canary\n      service: s\n      stable: a\n      candidate: b\n"
+            );
+            let err = StrategyDocument::from_yaml(&yaml::parse(&source).unwrap()).unwrap_err();
+            assert!(err.to_string().contains(field), "{bad}: {err}");
+        }
     }
 
     #[test]

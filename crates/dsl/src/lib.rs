@@ -58,7 +58,7 @@ pub mod error;
 pub mod yaml;
 
 pub use ast::{
-    CheckDoc, DeploymentDoc, EngineDoc, MetricDoc, PhaseDoc, PhaseType, ServiceDoc,
+    BackendDoc, CheckDoc, DeploymentDoc, EngineDoc, MetricDoc, PhaseDoc, PhaseType, ServiceDoc,
     StrategyDocument, VersionDoc,
 };
 pub use compile::compile;

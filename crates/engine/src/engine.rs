@@ -1,6 +1,7 @@
 //! The Bifrost engine: strategy scheduling, timed check execution, state
 //! transitions, and proxy configuration over virtual time.
 
+use crate::backends::{BackendDefaults, BackendFleet};
 use crate::cost::EngineCostModel;
 use crate::events::{EngineEvent, EventLog, EventQueue};
 use crate::execution::StrategyExecution;
@@ -55,6 +56,12 @@ pub struct EngineConfig {
     /// statistics are identical for every shard count — the knob only
     /// moves the routing hot path's scalability.
     pub session_shards: usize,
+    /// Capacity defaults for traffic backends declared as plain
+    /// [`crate::traffic::BackendProfile`]s: when set, those versions are
+    /// served by queued replica servers with this shape instead of the
+    /// degenerate unlimited-capacity model. Versions with an explicit
+    /// [`crate::backends::QueuedBackend`] keep their own shape.
+    pub backend_defaults: Option<BackendDefaults>,
 }
 
 impl Default for EngineConfig {
@@ -65,6 +72,7 @@ impl Default for EngineConfig {
             utilization_sample_interval: Duration::from_secs(1),
             seed: Seed::DEFAULT,
             session_shards: bifrost_proxy::DEFAULT_SESSION_SHARDS,
+            backend_defaults: None,
         }
     }
 }
@@ -80,6 +88,15 @@ impl EngineConfig {
     /// (builder style, minimum 1).
     pub fn with_session_shards(mut self, session_shards: usize) -> Self {
         self.session_shards = session_shards.max(1);
+        self
+    }
+
+    /// Gives profile-only traffic backends a queued capacity shape
+    /// (builder style): `defaults` supplies replicas, queue bound, and
+    /// timeout; each version's profile keeps supplying service time and
+    /// error rate.
+    pub fn with_backend_defaults(mut self, defaults: BackendDefaults) -> Self {
+        self.backend_defaults = Some(defaults);
         self
     }
 }
@@ -120,6 +137,10 @@ pub struct BifrostEngine {
     /// One proxy-VM CPU per service carrying traffic: streams targeting the
     /// same service contend for the same cores.
     traffic_cpus: BTreeMap<ServiceId, CpuResource>,
+    /// The queued backend servers, keyed by `(service, version)`: every
+    /// stream's primary and shadow dispatches of a version charge the same
+    /// replicas.
+    backends: BackendFleet,
     events: EventLog,
     next_strategy_id: u64,
     /// Number of scheduled strategies that have not reached a final state.
@@ -146,6 +167,7 @@ impl BifrostEngine {
             executions: BTreeMap::new(),
             traffic: Vec::new(),
             traffic_cpus: BTreeMap::new(),
+            backends: BackendFleet::new(),
             events: EventLog::new(),
             next_strategy_id: 0,
             unfinished: 0,
@@ -205,7 +227,13 @@ impl BifrostEngine {
         store: SharedMetricStore,
     ) -> TrafficHandle {
         let index = self.traffic.len();
-        let stream = TrafficStream::new(profile, index, self.config.seed, store);
+        let stream = TrafficStream::new(
+            profile,
+            index,
+            self.config.seed,
+            store,
+            self.config.backend_defaults,
+        );
         self.traffic_cpus
             .entry(stream.service())
             .or_insert_with(|| CpuResource::new(stream.cores()));
@@ -228,6 +256,13 @@ impl BifrostEngine {
     /// The accumulated statistics of an attached traffic stream.
     pub fn traffic_stats(&self, handle: TrafficHandle) -> Option<&TrafficStats> {
         self.traffic.get(handle.0).map(TrafficStream::stats)
+    }
+
+    /// The running queued backend servers (for utilisation queries by
+    /// experiment harnesses and tests). Servers boot lazily on the first
+    /// dispatch of a version with a queued backend model.
+    pub fn backends(&self) -> &BackendFleet {
+        &self.backends
     }
 
     /// Schedules a strategy to start at `start_at`. Returns a handle for
@@ -384,7 +419,7 @@ impl BifrostEngine {
             .traffic_cpus
             .get_mut(&traffic.service())
             .expect("registered at attach");
-        traffic.route_batch(batch, &proxy, cpu, at);
+        traffic.route_batch(batch, &proxy, cpu, &mut self.backends, at);
     }
 
     fn start_strategy(&mut self, strategy: StrategyId, at: SimTime) {

@@ -47,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod backends;
 pub mod cost;
 pub mod engine;
 pub mod events;
@@ -55,21 +56,27 @@ pub mod proxies;
 pub mod report;
 pub mod traffic;
 
+pub use backends::{BackendDefaults, BackendDispatch, BackendFleet, QueuedBackend, VersionBackend};
 pub use cost::EngineCostModel;
 pub use engine::{BifrostEngine, EngineConfig, StrategyHandle};
 pub use events::{DueAction, EngineEvent, EventLog, EventQueue};
 pub use execution::{CheckProgress, ExecutionStatus, StrategyExecution};
 pub use proxies::{ProxyFleet, ProxyHandle};
 pub use report::StrategyReport;
-pub use traffic::{BackendProfile, TrafficHandle, TrafficProfile, TrafficStats};
+pub use traffic::{BackendModel, BackendProfile, TrafficHandle, TrafficProfile, TrafficStats};
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::backends::{
+        BackendDefaults, BackendDispatch, BackendFleet, QueuedBackend, VersionBackend,
+    };
     pub use crate::cost::EngineCostModel;
     pub use crate::engine::{BifrostEngine, EngineConfig, StrategyHandle};
     pub use crate::events::{DueAction, EngineEvent, EventLog, EventQueue};
     pub use crate::execution::{CheckProgress, ExecutionStatus, StrategyExecution};
     pub use crate::proxies::{ProxyFleet, ProxyHandle};
     pub use crate::report::StrategyReport;
-    pub use crate::traffic::{BackendProfile, TrafficHandle, TrafficProfile, TrafficStats};
+    pub use crate::traffic::{
+        BackendModel, BackendProfile, TrafficHandle, TrafficProfile, TrafficStats,
+    };
 }

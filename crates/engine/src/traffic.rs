@@ -31,6 +31,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 use std::time::Duration;
 
+use crate::backends::{BackendDefaults, BackendDispatch, BackendFleet, QueuedBackend};
 use crate::proxies::ProxyHandle;
 
 /// The backend behaviour of one service version under traffic: how long the
@@ -72,6 +73,54 @@ impl BackendProfile {
     }
 }
 
+/// How one version serves requests under traffic: the degenerate
+/// unlimited-capacity [`BackendProfile`] (fixed mean service time, latency
+/// independent of load) or a capacity-bounded [`QueuedBackend`] whose
+/// replicas queue, saturate, and shed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BackendModel {
+    /// Unlimited capacity: every request is served at the profile's mean
+    /// service time regardless of offered load.
+    Profile(BackendProfile),
+    /// Queued replicas: latency grows with backlog, overload sheds.
+    Queued(QueuedBackend),
+}
+
+impl BackendModel {
+    /// The intrinsic error rate of the model.
+    pub fn error_rate(&self) -> f64 {
+        match self {
+            BackendModel::Profile(p) => p.error_rate,
+            BackendModel::Queued(q) => q.error_rate,
+        }
+    }
+
+    /// The mean service time / demand of the model.
+    pub fn service_time(&self) -> Duration {
+        match self {
+            BackendModel::Profile(p) => p.service_time,
+            BackendModel::Queued(q) => q.service_time,
+        }
+    }
+
+    /// Applies engine-level capacity defaults: a plain profile is upgraded
+    /// to a queued backend with the defaults' replica/queue/timeout shape
+    /// (the profile keeps supplying service time and error rate); explicit
+    /// queued backends are untouched.
+    fn with_defaults(self, defaults: Option<BackendDefaults>) -> Self {
+        match (self, defaults) {
+            (BackendModel::Profile(p), Some(d)) => BackendModel::Queued(QueuedBackend {
+                service_time: p.service_time,
+                error_rate: p.error_rate,
+                replicas: d.replicas,
+                queue_capacity: d.queue_capacity,
+                timeout: d.timeout,
+            }),
+            (model, _) => model,
+        }
+    }
+}
+
 /// A request-level traffic profile attached to one service's proxy.
 #[derive(Debug, Clone)]
 pub struct TrafficProfile {
@@ -80,9 +129,9 @@ pub struct TrafficProfile {
     tick: Duration,
     cores: usize,
     service_label: String,
-    backends: BTreeMap<VersionId, BackendProfile>,
+    backends: BTreeMap<VersionId, BackendModel>,
     version_labels: BTreeMap<VersionId, String>,
-    default_backend: BackendProfile,
+    default_backend: BackendModel,
 }
 
 impl TrafficProfile {
@@ -97,7 +146,7 @@ impl TrafficProfile {
             service_label: format!("{service}"),
             backends: BTreeMap::new(),
             version_labels: BTreeMap::new(),
-            default_backend: BackendProfile::default(),
+            default_backend: BackendModel::Profile(BackendProfile::default()),
         }
     }
 
@@ -122,15 +171,31 @@ impl TrafficProfile {
         self
     }
 
-    /// Sets a version's backend behaviour and, for recorded series, its
-    /// `version` label (builder style).
+    /// Sets a version's backend behaviour to the degenerate
+    /// unlimited-capacity profile and, for recorded series, its `version`
+    /// label (builder style).
     pub fn with_backend(
         mut self,
         version: VersionId,
         label: impl Into<String>,
         backend: BackendProfile,
     ) -> Self {
-        self.backends.insert(version, backend);
+        self.backends
+            .insert(version, BackendModel::Profile(backend));
+        self.version_labels.insert(version, label.into());
+        self
+    }
+
+    /// Sets a version's backend to a capacity-bounded queued server —
+    /// latency becomes load-dependent, overload sheds — and, for recorded
+    /// series, its `version` label (builder style).
+    pub fn with_queued_backend(
+        mut self,
+        version: VersionId,
+        label: impl Into<String>,
+        backend: QueuedBackend,
+    ) -> Self {
+        self.backends.insert(version, BackendModel::Queued(backend));
         self.version_labels.insert(version, label.into());
         self
     }
@@ -138,7 +203,13 @@ impl TrafficProfile {
     /// Overrides the backend used for versions without an explicit profile
     /// (builder style).
     pub fn with_default_backend(mut self, backend: BackendProfile) -> Self {
-        self.default_backend = backend;
+        self.default_backend = BackendModel::Profile(backend);
+        self
+    }
+
+    /// Overrides the default backend with a queued server (builder style).
+    pub fn with_default_queued_backend(mut self, backend: QueuedBackend) -> Self {
+        self.default_backend = BackendModel::Queued(backend);
         self
     }
 
@@ -157,7 +228,9 @@ impl TrafficProfile {
         self.tick
     }
 
-    fn backend_of(&self, version: VersionId) -> BackendProfile {
+    /// The backend model of `version` (the default model when the profile
+    /// did not name it explicitly).
+    pub fn backend_of(&self, version: VersionId) -> BackendModel {
         self.backends
             .get(&version)
             .copied()
@@ -171,14 +244,28 @@ impl TrafficProfile {
 pub struct TrafficStats {
     /// Total requests routed.
     pub requests: u64,
-    /// Requests that failed (drawn from the serving version's error rate).
+    /// Requests that failed: intrinsic backend errors plus shed and
+    /// timed-out requests.
     pub errors: u64,
+    /// Primary requests rejected by a saturated backend queue.
+    pub shed: u64,
+    /// Primary requests whose backend latency exceeded the version's
+    /// timeout.
+    pub timed_out: u64,
+    /// Shadow copies dropped by a saturated backend queue (server-side
+    /// only — never visible to the caller).
+    pub shadow_shed: u64,
     /// Dark-launch shadow copies produced.
     pub shadow_copies: u64,
     /// Primary requests per version.
     pub per_version: BTreeMap<VersionId, u64>,
     /// Shadow copies per target version.
     pub shadow_per_version: BTreeMap<VersionId, u64>,
+    /// Primary shed + timed-out requests per version.
+    pub shed_per_version: BTreeMap<VersionId, u64>,
+    /// Peak per-tick backend replica utilisation (percent) per version,
+    /// for versions with a queued backend.
+    pub peak_utilization: BTreeMap<VersionId, f64>,
     /// Number of ticks processed.
     pub ticks: u64,
     /// Sum of end-to-end latencies in milliseconds (for the mean).
@@ -236,6 +323,14 @@ impl TrafficStats {
         }
         self.proxy_busy.as_secs_f64() * 1_000.0 / self.requests as f64
     }
+
+    /// The fraction of primary requests shed or timed out by their backend.
+    pub fn shed_rate(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        (self.shed + self.timed_out) as f64 / self.requests as f64
+    }
 }
 
 /// A handle identifying one attached traffic stream within an engine.
@@ -260,6 +355,14 @@ pub(crate) struct TrafficStream {
     /// from [`ArrivalPlan::batches`] so each engine event is a slice lookup.
     batches: Vec<(SimTime, usize, usize)>,
     rng: SimRng,
+    /// A separate seeded RNG for shadow service-demand draws, so the
+    /// presence or share of a dark launch never perturbs the primary
+    /// stream's jitter/error sequence — when the shadow version serves no
+    /// primary traffic, primary-visible outcomes are byte-identical with
+    /// and without shadow traffic. (If the shadow target also serves a
+    /// primary split, the shadow load still occupies the shared replicas,
+    /// so primary queueing there degrades — deliberately.)
+    shadow_rng: SimRng,
     recorder: TrafficSeriesRecorder,
     stats: TrafficStats,
     /// Scratch buffer reused across ticks to build the batch's requests.
@@ -268,6 +371,11 @@ pub(crate) struct TrafficStream {
     /// allocates for label bookkeeping. Versions the profile did not name
     /// are added on first sight with their id rendering.
     labels: BTreeMap<VersionId, String>,
+    /// Version → backend model, resolved once from the profile and the
+    /// engine's capacity defaults.
+    models: BTreeMap<VersionId, BackendModel>,
+    /// The resolved model for versions the profile did not name.
+    default_model: BackendModel,
 }
 
 impl TrafficStream {
@@ -279,6 +387,7 @@ impl TrafficStream {
         index: usize,
         seed: Seed,
         store: SharedMetricStore,
+        backend_defaults: Option<BackendDefaults>,
     ) -> Self {
         let stream_seed = seed.stream(&format!("traffic-{index}"));
         let arrivals = profile.load.plan_seeded(stream_seed);
@@ -298,16 +407,33 @@ impl TrafficStream {
             profile.version_labels.values().map(String::as_str),
             SimTime::ZERO.to_timestamp(),
         );
+        let models = profile
+            .backends
+            .iter()
+            .map(|(version, model)| (*version, model.with_defaults(backend_defaults)))
+            .collect();
+        let default_model = profile.default_backend.with_defaults(backend_defaults);
         Self {
             rng: SimRng::seeded(stream_seed.stream("backends").value()),
+            shadow_rng: SimRng::seeded(stream_seed.stream("shadow-backends").value()),
             recorder,
             arrivals,
             batches,
             labels: profile.version_labels.clone(),
+            models,
+            default_model,
             profile,
             stats: TrafficStats::default(),
             scratch: Vec::new(),
         }
+    }
+
+    /// The resolved backend model of a version.
+    fn model_of(&self, version: VersionId) -> BackendModel {
+        self.models
+            .get(&version)
+            .copied()
+            .unwrap_or(self.default_model)
     }
 
     /// The service this stream targets.
@@ -332,12 +458,15 @@ impl TrafficStream {
 
     /// Routes the `batch`-th tick's arrivals through `proxy` at virtual
     /// time `at` (the tick's window end), charging routing cost to the
-    /// service's shared proxy `cpu`, and records the outcomes.
+    /// service's shared proxy `cpu`, dispatching primary *and* shadow
+    /// decisions into the service's backend servers in `fleet`, and
+    /// records the outcomes.
     pub(crate) fn route_batch(
         &mut self,
         batch: usize,
         proxy: &ProxyHandle,
         cpu: &mut CpuResource,
+        fleet: &mut BackendFleet,
         at: SimTime,
     ) {
         let Some(&(_, start, end)) = self.batches.get(batch) else {
@@ -354,20 +483,64 @@ impl TrafficStream {
         // store locks per shard internally), so concurrent streams through
         // the same proxy no longer serialize on the handle.
         let routed = proxy.read().route_many_costed(self.scratch.iter());
+        let service = self.profile.service;
         for (arrival, (decision, cost)) in arrivals.iter().zip(&routed) {
             let receipt = cpu.submit(arrival.at, *cost);
             self.stats.proxy_busy += *cost;
-            let backend = self.profile.backend_of(decision.primary);
-            // Backend latency: the version's mean service time with a ±10%
-            // deterministic jitter so latency series are not flat lines.
-            let service_ms =
-                backend.service_time.as_secs_f64() * 1_000.0 * (0.9 + 0.2 * self.rng.uniform());
-            let latency_ms = (receipt.completed - arrival.at).as_secs_f64() * 1_000.0 + service_ms;
-            let success = !self.rng.chance(backend.error_rate);
+            let proxy_ms = (receipt.completed - arrival.at).as_secs_f64() * 1_000.0;
+            let model = self.model_of(decision.primary);
+            // Service demand: the version's mean service time with a ±10%
+            // deterministic jitter so latency series are not flat lines
+            // (and queued servers see a demand distribution).
+            let jitter = 0.9 + 0.2 * self.rng.uniform();
+            let (latency_ms, outcome) = match model {
+                BackendModel::Profile(profile) => (
+                    proxy_ms + profile.service_time.as_secs_f64() * 1_000.0 * jitter,
+                    ServeOutcome::Served,
+                ),
+                BackendModel::Queued(queued) => {
+                    let server = fleet.ensure(service, decision.primary, &queued);
+                    match server.dispatch(receipt.completed, queued.service_time.mul_f64(jitter)) {
+                        // Shed is an immediate rejection: the caller only
+                        // pays the routing latency.
+                        BackendDispatch::Shed => (proxy_ms, ServeOutcome::Shed),
+                        BackendDispatch::Admitted(backend)
+                            if backend.latency() > queued.timeout =>
+                        {
+                            // The caller gives up at the deadline; the
+                            // server still burns the admitted work.
+                            (
+                                proxy_ms + queued.timeout.as_secs_f64() * 1_000.0,
+                                ServeOutcome::TimedOut,
+                            )
+                        }
+                        BackendDispatch::Admitted(backend) => (
+                            proxy_ms + backend.latency().as_secs_f64() * 1_000.0,
+                            ServeOutcome::Served,
+                        ),
+                    }
+                }
+            };
+            let success = match outcome {
+                ServeOutcome::Served => !draw_error(&mut self.rng, model.error_rate()),
+                ServeOutcome::Shed | ServeOutcome::TimedOut => false,
+            };
 
             self.stats.requests += 1;
             if !success {
                 self.stats.errors += 1;
+            }
+            match outcome {
+                ServeOutcome::Served => {}
+                ServeOutcome::Shed => self.stats.shed += 1,
+                ServeOutcome::TimedOut => self.stats.timed_out += 1,
+            }
+            if outcome != ServeOutcome::Served {
+                *self
+                    .stats
+                    .shed_per_version
+                    .entry(decision.primary)
+                    .or_insert(0) += 1;
             }
             *self.stats.per_version.entry(decision.primary).or_insert(0) += 1;
             self.stats.total_latency_ms += latency_ms;
@@ -377,6 +550,9 @@ impl TrafficStream {
                 .entry(decision.primary)
                 .or_insert_with(|| decision.primary.to_string());
             self.recorder.observe_request(label, latency_ms, success);
+            if outcome != ServeOutcome::Served {
+                self.recorder.observe_shed(label);
+            }
             for shadow in &decision.shadows {
                 self.stats.shadow_copies += 1;
                 *self
@@ -384,20 +560,85 @@ impl TrafficStream {
                     .shadow_per_version
                     .entry(shadow.target)
                     .or_insert(0) += 1;
+                // Shadow work charges the shadow version's replicas — a
+                // dark launch visibly heats them — but its outcome never
+                // surfaces to the caller: no latency, no error. The demand
+                // draw comes from the dedicated shadow RNG so the primary
+                // sequence is independent of the dark-launch share.
+                let shadow_model = self.model_of(shadow.target);
                 let label = self
                     .labels
                     .entry(shadow.target)
                     .or_insert_with(|| shadow.target.to_string());
                 self.recorder.observe_shadow(label);
+                if let BackendModel::Queued(queued) = shadow_model {
+                    let demand = queued
+                        .service_time
+                        .mul_f64(0.9 + 0.2 * self.shadow_rng.uniform());
+                    let server = fleet.ensure(service, shadow.target, &queued);
+                    if server.dispatch(receipt.completed, demand) == BackendDispatch::Shed {
+                        self.stats.shadow_shed += 1;
+                        self.recorder.observe_shed(label);
+                    }
+                }
             }
         }
         self.stats.ticks += 1;
+        // Sample each backend's replica utilisation over the tick and
+        // publish it per version; sampling also drains the replicas'
+        // pending execution-interval lists. (With several streams on one
+        // service, the first stream's tick consumes the window.)
+        for (version, server) in fleet.servers_of_mut(service) {
+            let percent = server.sample_utilization(at);
+            let label = self
+                .labels
+                .entry(version)
+                .or_insert_with(|| version.to_string());
+            self.recorder.observe_utilization(label, percent);
+            let peak = self.stats.peak_utilization.entry(version).or_insert(0.0);
+            if percent > *peak {
+                *peak = percent;
+            }
+        }
         // Drain the CPU's utilisation-sampling intervals: nothing samples
         // the traffic CPUs, and without the drain the interval list grows
         // by one entry per routed request.
         let _ = cpu.sample_utilization(at);
         self.recorder.flush(at.to_timestamp());
     }
+}
+
+/// How a primary request fared at its backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ServeOutcome {
+    /// Served (possibly slowly); the intrinsic error rate still applies.
+    Served,
+    /// Rejected immediately by a full backend queue.
+    Shed,
+    /// Admitted but finished past the backend's deadline.
+    TimedOut,
+}
+
+/// Normalises a configured error rate at the draw point: `NaN` counts as
+/// zero, anything else is clamped to `[0, 1]` (the public profile fields
+/// allow direct construction with out-of-range values).
+fn normalized_error_rate(error_rate: f64) -> f64 {
+    if error_rate.is_nan() {
+        0.0
+    } else {
+        error_rate.clamp(0.0, 1.0)
+    }
+}
+
+/// Draws whether a served request fails its version's intrinsic error
+/// rate. Out-of-range rates are a construction bug — loud in debug builds,
+/// normalised in release.
+fn draw_error(rng: &mut SimRng, error_rate: f64) -> bool {
+    debug_assert!(
+        (0.0..=1.0).contains(&error_rate),
+        "backend error_rate {error_rate} outside [0, 1] — clamp it at construction"
+    );
+    rng.chance(normalized_error_rate(error_rate))
 }
 
 impl fmt::Debug for TrafficStream {
@@ -431,20 +672,64 @@ mod tests {
     fn profile_builders() {
         let service = ServiceId::new(3);
         let v = VersionId::new(1);
+        let q = VersionId::new(2);
         let profile =
             TrafficProfile::new(service, LoadProfile::paper_profile(Duration::from_secs(10)))
                 .with_tick(Duration::from_millis(500))
                 .with_cores(2)
                 .with_service_label("search")
                 .with_backend(v, "v1", BackendProfile::healthy(Duration::from_millis(4)))
+                .with_queued_backend(
+                    q,
+                    "v2",
+                    QueuedBackend::new(Duration::from_millis(7)).with_replicas(3),
+                )
                 .with_default_backend(BackendProfile::healthy(Duration::from_millis(9)));
         assert_eq!(profile.service(), service);
         assert_eq!(profile.tick(), Duration::from_millis(500));
-        assert_eq!(profile.backend_of(v).service_time, Duration::from_millis(4));
         assert_eq!(
-            profile.backend_of(VersionId::new(9)).service_time,
+            profile.backend_of(v).service_time(),
+            Duration::from_millis(4)
+        );
+        assert!(matches!(
+            profile.backend_of(q),
+            BackendModel::Queued(queued) if queued.replicas == 3
+        ));
+        assert_eq!(
+            profile.backend_of(VersionId::new(9)).service_time(),
             Duration::from_millis(9)
         );
+    }
+
+    #[test]
+    fn engine_defaults_upgrade_profiles_but_not_explicit_queued_backends() {
+        let defaults = BackendDefaults::new(4, 32, Duration::from_millis(300));
+        let upgraded = BackendModel::Profile(BackendProfile::healthy(Duration::from_millis(8)))
+            .with_defaults(Some(defaults));
+        match upgraded {
+            BackendModel::Queued(q) => {
+                assert_eq!(q.service_time, Duration::from_millis(8));
+                assert_eq!(q.replicas, 4);
+                assert_eq!(q.queue_capacity, 32);
+                assert_eq!(q.timeout, Duration::from_millis(300));
+            }
+            other => panic!("expected queued, got {other:?}"),
+        }
+        let explicit = BackendModel::Queued(QueuedBackend::new(Duration::from_millis(8)));
+        assert_eq!(explicit.with_defaults(Some(defaults)), explicit);
+        let untouched = BackendModel::Profile(BackendProfile::default());
+        assert_eq!(untouched.with_defaults(None), untouched);
+    }
+
+    #[test]
+    fn error_rates_normalise_at_the_draw_point() {
+        assert_eq!(normalized_error_rate(0.25), 0.25);
+        assert_eq!(normalized_error_rate(-1.0), 0.0);
+        assert_eq!(normalized_error_rate(7.0), 1.0);
+        assert_eq!(normalized_error_rate(f64::NAN), 0.0);
+        let mut rng = SimRng::seeded(1);
+        assert!(draw_error(&mut rng, 1.0));
+        assert!(!draw_error(&mut rng, 0.0));
     }
 
     #[test]
@@ -455,5 +740,6 @@ mod tests {
         assert_eq!(stats.share_of(VersionId::new(0)), 0.0);
         assert_eq!(stats.shadow_share(), 0.0);
         assert_eq!(stats.proxy_cpu_ms_per_request(), 0.0);
+        assert_eq!(stats.shed_rate(), 0.0);
     }
 }

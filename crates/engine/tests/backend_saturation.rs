@@ -1,0 +1,367 @@
+//! End-to-end tests of the queued backend fleet: saturation must be
+//! *observable* (rising p95 and shed-rate series) and *actionable* (a
+//! metric check on the shed counter rolls the strategy back), and a dark
+//! launch must heat the shadow version's replicas without changing any
+//! primary-visible outcome.
+
+use bifrost_core::check::QueryAggregation;
+use bifrost_core::phase::PhaseCheck;
+use bifrost_core::prelude::*;
+use bifrost_engine::{
+    BackendProfile, BifrostEngine, EngineConfig, QueuedBackend, TrafficProfile, TrafficStats,
+};
+use bifrost_metrics::{Aggregation, RangeQuery, SharedMetricStore};
+use bifrost_simnet::SimTime;
+use bifrost_workload::{LoadProfile, RequestMix};
+use std::time::Duration;
+
+struct Fixture {
+    engine: BifrostEngine,
+    store: SharedMetricStore,
+    catalog: ServiceCatalog,
+    search: ServiceId,
+    stable: VersionId,
+    canary: VersionId,
+}
+
+fn fixture(seed: u64) -> Fixture {
+    let mut catalog = ServiceCatalog::new();
+    let search = catalog.add_service(Service::new("search"));
+    let stable = catalog
+        .add_version(
+            search,
+            ServiceVersion::new("v1", Endpoint::new("10.0.0.1", 80)),
+        )
+        .unwrap();
+    let canary = catalog
+        .add_version(
+            search,
+            ServiceVersion::new("v2", Endpoint::new("10.0.0.2", 80)),
+        )
+        .unwrap();
+    let store = SharedMetricStore::new();
+    let mut engine = BifrostEngine::new(EngineConfig::default().with_seed(Seed::new(seed)));
+    engine.register_store_provider("prometheus", store.clone());
+    engine.register_proxy(search, stable);
+    Fixture {
+        engine,
+        store,
+        catalog,
+        search,
+        stable,
+        canary,
+    }
+}
+
+/// A ramping open-loop load: the rate grows linearly over `ramp_secs`
+/// towards `peak_rps`, then holds.
+fn ramping_load(duration_secs: u64, ramp_secs: u64, peak_rps: f64) -> LoadProfile {
+    LoadProfile {
+        requests_per_second: peak_rps,
+        ramp_up: Duration::from_secs(ramp_secs),
+        duration: Duration::from_secs(duration_secs),
+        mix: RequestMix::paper_mix(),
+        user_count: 1_000_000,
+        poisson_arrivals: false,
+    }
+}
+
+/// The canary's server shape: 5 ms per request per single-core replica
+/// (200 rps of capacity per replica), a short queue, a 250 ms deadline.
+fn canary_backend(replicas: usize) -> QueuedBackend {
+    QueuedBackend::new(Duration::from_millis(5))
+        .with_replicas(replicas)
+        .with_queue_capacity(32)
+        .with_timeout(Duration::from_millis(250))
+}
+
+fn traffic_profile(f: &Fixture, replicas: usize, load: LoadProfile) -> TrafficProfile {
+    // An amply-provisioned proxy VM: the scenarios here study *backend*
+    // saturation, so the proxy must not be the upstream bottleneck (dark
+    // launches cost ~11 ms of routing CPU per duplicated request under the
+    // Node-prototype overhead model).
+    TrafficProfile::new(f.search, load)
+        .with_cores(24)
+        .with_service_label("search")
+        .with_backend(
+            f.stable,
+            "v1",
+            BackendProfile::healthy(Duration::from_millis(8)),
+        )
+        .with_queued_backend(f.canary, "v2", canary_backend(replicas))
+}
+
+/// An exception check watching the canary's shed counter: more than 20
+/// shed/timed-out requests in any 10-second window aborts the state to the
+/// rollback state.
+fn shed_check() -> PhaseCheck {
+    PhaseCheck::exception(
+        "canary-shed",
+        CheckSpec::single(
+            MetricQuery::new("prometheus", "shed", "requests_shed_total")
+                .with_label("version", "v2")
+                .with_window_secs(10)
+                .with_aggregation(QueryAggregation::Rate),
+            Validator::LessThan(20.0),
+        ),
+        Timer::from_secs(10, 8).unwrap(),
+    )
+}
+
+fn canary_strategy(f: &Fixture) -> Strategy {
+    StrategyBuilder::new("canary", f.catalog.clone())
+        .phase(
+            PhaseSpec::canary(
+                "canary-20",
+                f.search,
+                f.stable,
+                f.canary,
+                Percentage::new(20.0).unwrap(),
+            )
+            .check(shed_check())
+            .duration_secs(90),
+        )
+        .build()
+        .unwrap()
+}
+
+fn p95_gauge(store: &SharedMetricStore, version: &str, at_secs: u64, window: u64) -> Option<f64> {
+    store.evaluate(
+        &RangeQuery::new("request_latency_p95_ms")
+            .with_label("version", version)
+            .over_window_secs(window)
+            .aggregate(Aggregation::Max),
+        SimTime::from_secs(at_secs).to_timestamp(),
+    )
+}
+
+#[test]
+fn saturation_is_observable_in_p95_and_shed_series() {
+    // Peak 1,400 rps, 20% canary → ~280 rps against 200 rps of capacity at
+    // one replica: with no check to intervene, the ramp drives the canary
+    // into saturation and the series must show it.
+    let mut f = fixture(41);
+    let strategy = StrategyBuilder::new("canary", f.catalog.clone())
+        .phase(
+            PhaseSpec::canary(
+                "canary-20",
+                f.search,
+                f.stable,
+                f.canary,
+                Percentage::new(20.0).unwrap(),
+            )
+            .duration_secs(90),
+        )
+        .build()
+        .unwrap();
+    f.engine.schedule(strategy, SimTime::ZERO);
+    let traffic = f.engine.attach_traffic(
+        traffic_profile(&f, 1, ramping_load(90, 60, 1_400.0)),
+        f.store.clone(),
+    );
+    f.engine.run_until(SimTime::from_secs(120));
+
+    let stats = f.engine.traffic_stats(traffic).unwrap().clone();
+    assert!(stats.shed + stats.timed_out > 100, "stats: {stats:?}");
+    assert!(stats.shed_rate() > 0.0);
+    assert!(stats.shed_per_version.get(&f.canary).copied().unwrap_or(0) > 100);
+    assert_eq!(
+        stats.peak_utilization.get(&f.canary).copied().unwrap(),
+        100.0,
+        "a saturated replica must peg its utilisation"
+    );
+    // The p95 series of the canary rises as the ramp approaches
+    // saturation: compare an early window against a late one.
+    let early = p95_gauge(&f.store, "v2", 20, 15).unwrap();
+    let late = p95_gauge(&f.store, "v2", 85, 15).unwrap();
+    assert!(
+        late > early * 3.0,
+        "p95 did not rise under saturation: early {early} ms, late {late} ms"
+    );
+    // The shed-rate series lands in the store where checks can see it.
+    let shed_series = f
+        .store
+        .evaluate(
+            &RangeQuery::new("requests_shed_total")
+                .with_label("version", "v2")
+                .aggregate(Aggregation::Last),
+            SimTime::from_secs(120).to_timestamp(),
+        )
+        .unwrap();
+    assert!(shed_series > 100.0, "shed counter {shed_series}");
+}
+
+#[test]
+fn undersized_canary_rolls_back_while_provisioned_canary_succeeds() {
+    // Same ramp, now with the shed check attached: the 1-replica canary
+    // crosses the shed threshold and the exception check rolls the
+    // strategy back early — saturation is actionable, not just visible.
+    let mut thin = fixture(41);
+    let handle = thin.engine.schedule(canary_strategy(&thin), SimTime::ZERO);
+    let traffic = thin.engine.attach_traffic(
+        traffic_profile(&thin, 1, ramping_load(90, 60, 1_400.0)),
+        thin.store.clone(),
+    );
+    thin.engine.run_until(SimTime::from_secs(120));
+    let stats = thin.engine.traffic_stats(traffic).unwrap();
+    assert!(
+        stats.shed + stats.timed_out > 20,
+        "the shed threshold must have been crossed: {stats:?}"
+    );
+    let report = thin.engine.report(handle).unwrap();
+    assert!(report.is_finished());
+    assert!(!report.succeeded(), "saturated canary must roll back");
+    // After the rollback the canary stops receiving primary traffic, so
+    // shedding stops well short of an uncontrolled run's volume.
+    assert!(
+        *stats.per_version.get(&thin.canary).unwrap() < stats.requests / 10,
+        "rollback must cut the canary's traffic: {stats:?}"
+    );
+
+    // The same scenario with 4 replicas (800 rps of capacity) stays
+    // healthy: nothing is shed and the strategy succeeds.
+    let mut wide = fixture(41);
+    let handle = wide.engine.schedule(canary_strategy(&wide), SimTime::ZERO);
+    let traffic = wide.engine.attach_traffic(
+        traffic_profile(&wide, 4, ramping_load(90, 60, 1_400.0)),
+        wide.store.clone(),
+    );
+    wide.engine.run_until(SimTime::from_secs(120));
+    let stats = wide.engine.traffic_stats(traffic).unwrap();
+    assert_eq!(stats.shed, 0, "4 replicas must not shed: {stats:?}");
+    assert_eq!(stats.timed_out, 0);
+    assert!(wide.engine.report(handle).unwrap().succeeded());
+    // Utilisation is observable and plausible: peak well below 100%.
+    let peak = stats.peak_utilization.get(&wide.canary).copied().unwrap();
+    assert!(peak > 5.0 && peak < 90.0, "peak canary utilisation {peak}");
+}
+
+/// Primary-visible *outcome* fields of the traffic statistics: counts,
+/// errors, and the per-version split. Latency is compared separately with
+/// a tolerance, because duplicating requests costs proxy-side routing CPU
+/// (the paper's measured dark-launch overhead) even though the shadow
+/// backend's latency never surfaces.
+fn primary_view(stats: &TrafficStats) -> (u64, u64, u64, u64, Vec<(VersionId, u64)>) {
+    (
+        stats.requests,
+        stats.errors,
+        stats.shed,
+        stats.timed_out,
+        stats.per_version.iter().map(|(v, n)| (*v, *n)).collect(),
+    )
+}
+
+#[test]
+fn dark_launch_heats_the_shadow_version_without_touching_primary_outcomes() {
+    let dark_strategy = |f: &Fixture, share: f64| {
+        StrategyBuilder::new("dark", f.catalog.clone())
+            .phase(
+                PhaseSpec::dark_launch(
+                    "dark",
+                    f.search,
+                    f.stable,
+                    f.canary,
+                    Percentage::new(share).unwrap(),
+                )
+                .duration_secs(90),
+            )
+            .build()
+            .unwrap()
+    };
+    let run = |share: f64| {
+        let mut f = fixture(17);
+        f.engine.schedule(dark_strategy(&f, share), SimTime::ZERO);
+        let traffic = f.engine.attach_traffic(
+            traffic_profile(&f, 2, ramping_load(80, 20, 600.0)),
+            f.store.clone(),
+        );
+        f.engine.run_until(SimTime::from_secs(100));
+        let stats = f.engine.traffic_stats(traffic).unwrap().clone();
+        let utilization = f
+            .store
+            .evaluate(
+                &RangeQuery::new("backend_utilization")
+                    .with_label("version", "v2")
+                    .over_window_secs(100)
+                    .aggregate(Aggregation::Max),
+                SimTime::from_secs(100).to_timestamp(),
+            )
+            .unwrap_or(0.0);
+        (stats, utilization)
+    };
+
+    let (with_dark, hot) = run(20.0);
+    let (without_dark, cold) = run(0.0);
+
+    // The dark launch duplicated ~20% of the traffic onto v2 and its
+    // replicas measurably heated up.
+    assert!(
+        (with_dark.shadow_share() - 0.20).abs() < 0.02,
+        "shadow share {}",
+        with_dark.shadow_share()
+    );
+    assert!(with_dark.shadow_per_version[&VersionId::new(1)] > 0);
+    assert!(
+        hot > cold + 10.0,
+        "shadow utilisation {hot}% must exceed idle {cold}% by a margin"
+    );
+    // ... without changing anything the caller can see: same requests,
+    // same errors, same per-version split.
+    assert_eq!(primary_view(&with_dark), primary_view(&without_dark));
+    assert_eq!(without_dark.shadow_copies, 0);
+    // Mean latency moves only by the proxy-side duplication cost (a few
+    // milliseconds) — if the shadow backend's ~100 ms+ queueing leaked
+    // into primary latencies this margin would blow up.
+    let delta = with_dark.mean_latency_ms() - without_dark.mean_latency_ms();
+    assert!(
+        (0.0..5.0).contains(&delta),
+        "primary mean latency moved by {delta} ms under a 20% dark launch"
+    );
+}
+
+#[test]
+fn shadow_overload_is_shed_server_side_and_stays_invisible_to_callers() {
+    // A dark launch at 100% onto a single thin replica: far beyond the
+    // shadow version's capacity. The overflow is shed server-side (visible
+    // in the stream's shadow_shed and the version's shed series) while the
+    // primary latency/error picture stays identical to a run without any
+    // dark launch.
+    let strategy = |f: &Fixture, share: f64| {
+        StrategyBuilder::new("dark", f.catalog.clone())
+            .phase(
+                PhaseSpec::dark_launch(
+                    "dark-all",
+                    f.search,
+                    f.stable,
+                    f.canary,
+                    Percentage::new(share).unwrap(),
+                )
+                .duration_secs(60),
+            )
+            .build()
+            .unwrap()
+    };
+    let run = |share: f64| {
+        let mut f = fixture(29);
+        f.engine.schedule(strategy(&f, share), SimTime::ZERO);
+        let traffic = f.engine.attach_traffic(
+            traffic_profile(&f, 1, ramping_load(60, 10, 800.0)),
+            f.store.clone(),
+        );
+        f.engine.run_until(SimTime::from_secs(80));
+        f.engine.traffic_stats(traffic).unwrap().clone()
+    };
+    let flooded = run(100.0);
+    let baseline = run(0.0);
+    assert!(flooded.shadow_shed > 0, "stats: {flooded:?}");
+    assert_eq!(primary_view(&flooded), primary_view(&baseline));
+    // Sheds of shadow copies never count into caller-visible errors, and
+    // the saturated shadow backend's latency never surfaces: the primary
+    // mean moves only by the proxy-side duplication cost.
+    assert_eq!(flooded.errors, baseline.errors);
+    let delta = flooded.mean_latency_ms() - baseline.mean_latency_ms();
+    assert!(
+        (0.0..15.0).contains(&delta),
+        "primary mean latency moved by {delta} ms under a flooded dark launch"
+    );
+}

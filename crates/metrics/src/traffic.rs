@@ -11,14 +11,22 @@
 //! * `requests_total{service, version}` — cumulative request counter,
 //! * `request_errors{service, version}` — cumulative error counter,
 //! * `shadow_requests_total{service, version}` — cumulative dark-launch
-//!   duplicate counter, and
-//! * `request_latency_ms{service, version}` — per-tick mean latency gauge.
+//!   duplicate counter,
+//! * `requests_shed_total{service, version}` — cumulative counter of
+//!   requests (primary or shadow) dropped by a saturated backend queue or
+//!   timed out past the backend deadline,
+//! * `request_latency_ms{service, version}` — per-tick mean latency gauge,
+//! * `request_latency_p50_ms` / `request_latency_p95_ms` — per-tick
+//!   latency-quantile gauges, and
+//! * `backend_utilization{service, version}` — per-tick gauge of the
+//!   version's replica utilisation in percent.
 //!
 //! The series names and the `version` label match what the case-study
 //! application publishes, so the same check specifications work against
 //! simulated application traffic and engine-driven request-level traffic.
 
 use crate::sample::{Sample, SeriesKey, TimestampMs};
+use crate::stats::DistributionSummary;
 use crate::store::SharedMetricStore;
 use std::collections::BTreeMap;
 
@@ -30,13 +38,24 @@ pub const REQUEST_ERRORS: &str = "request_errors";
 pub const SHADOW_REQUESTS_TOTAL: &str = "shadow_requests_total";
 /// Per-tick mean end-to-end latency gauge per version (milliseconds).
 pub const REQUEST_LATENCY_MS: &str = "request_latency_ms";
+/// Per-tick median end-to-end latency gauge per version (milliseconds).
+pub const REQUEST_LATENCY_P50_MS: &str = "request_latency_p50_ms";
+/// Per-tick 95th-percentile end-to-end latency gauge per version
+/// (milliseconds).
+pub const REQUEST_LATENCY_P95_MS: &str = "request_latency_p95_ms";
+/// Cumulative counter of requests shed or timed out by a version's backend.
+pub const REQUESTS_SHED_TOTAL: &str = "requests_shed_total";
+/// Per-tick backend replica utilisation gauge per version (percent).
+pub const BACKEND_UTILIZATION: &str = "backend_utilization";
 
 /// Per-version accumulation of one flush window.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 struct WindowAccumulator {
     requests: u64,
     errors: u64,
     latency_ms_sum: f64,
+    /// Every latency of the window, for the per-tick quantile gauges.
+    latencies_ms: Vec<f64>,
 }
 
 /// Buffers routing outcomes per version and publishes them as metric
@@ -50,9 +69,13 @@ pub struct TrafficSeriesRecorder {
     request_totals: BTreeMap<String, f64>,
     error_totals: BTreeMap<String, f64>,
     shadow_totals: BTreeMap<String, f64>,
+    shed_totals: BTreeMap<String, f64>,
     /// The current (unflushed) window.
     window: BTreeMap<String, WindowAccumulator>,
     shadow_window: BTreeMap<String, u64>,
+    shed_window: BTreeMap<String, u64>,
+    /// Latest per-version backend utilisation (percent) of the window.
+    utilization_window: BTreeMap<String, f64>,
 }
 
 impl TrafficSeriesRecorder {
@@ -65,8 +88,11 @@ impl TrafficSeriesRecorder {
             request_totals: BTreeMap::new(),
             error_totals: BTreeMap::new(),
             shadow_totals: BTreeMap::new(),
+            shed_totals: BTreeMap::new(),
             window: BTreeMap::new(),
             shadow_window: BTreeMap::new(),
+            shed_window: BTreeMap::new(),
+            utilization_window: BTreeMap::new(),
         }
     }
 
@@ -83,6 +109,7 @@ impl TrafficSeriesRecorder {
             self.request_totals.entry(label.to_string()).or_insert(0.0);
             self.error_totals.entry(label.to_string()).or_insert(0.0);
             self.shadow_totals.entry(label.to_string()).or_insert(0.0);
+            self.shed_totals.entry(label.to_string()).or_insert(0.0);
         }
         self.flush(at);
     }
@@ -97,8 +124,33 @@ impl TrafficSeriesRecorder {
         let acc = self.window.get_mut(version_label).expect("just ensured");
         acc.requests += 1;
         acc.latency_ms_sum += latency_ms;
+        acc.latencies_ms.push(latency_ms);
         if !success {
             acc.errors += 1;
+        }
+    }
+
+    /// Buffers one request (primary or shadow) the version's backend shed
+    /// from a full queue or timed out past its deadline. Allocation-free
+    /// except for a version's first appearance in the current window.
+    pub fn observe_shed(&mut self, version_label: &str) {
+        if !self.shed_window.contains_key(version_label) {
+            self.shed_window.insert(version_label.to_string(), 0);
+        }
+        *self
+            .shed_window
+            .get_mut(version_label)
+            .expect("just ensured") += 1;
+    }
+
+    /// Buffers the version's backend replica utilisation (percent) sampled
+    /// over the current tick; the latest value per version wins.
+    pub fn observe_utilization(&mut self, version_label: &str, percent: f64) {
+        if let Some(slot) = self.utilization_window.get_mut(version_label) {
+            *slot = percent;
+        } else {
+            self.utilization_window
+                .insert(version_label.to_string(), percent);
         }
     }
 
@@ -141,6 +193,33 @@ impl TrafficSeriesRecorder {
                     Sample::new(at, acc.latency_ms_sum / acc.requests as f64),
                 ));
             }
+            if let Some(summary) = DistributionSummary::compute(&acc.latencies_ms) {
+                samples.push((
+                    self.key(REQUEST_LATENCY_P50_MS, &version),
+                    Sample::new(at, summary.p50),
+                ));
+                samples.push((
+                    self.key(REQUEST_LATENCY_P95_MS, &version),
+                    Sample::new(at, summary.p95),
+                ));
+            }
+        }
+        for (version, count) in std::mem::take(&mut self.shed_window) {
+            let shed = {
+                let total = self.shed_totals.entry(version.clone()).or_insert(0.0);
+                *total += count as f64;
+                *total
+            };
+            samples.push((
+                self.key(REQUESTS_SHED_TOTAL, &version),
+                Sample::new(at, shed),
+            ));
+        }
+        for (version, percent) in std::mem::take(&mut self.utilization_window) {
+            samples.push((
+                self.key(BACKEND_UTILIZATION, &version),
+                Sample::new(at, percent),
+            ));
         }
         for (version, count) in std::mem::take(&mut self.shadow_window) {
             let shadows = {
@@ -159,6 +238,7 @@ impl TrafficSeriesRecorder {
             (REQUESTS_TOTAL, &self.request_totals),
             (REQUEST_ERRORS, &self.error_totals),
             (SHADOW_REQUESTS_TOTAL, &self.shadow_totals),
+            (REQUESTS_SHED_TOTAL, &self.shed_totals),
         ] {
             for (version, total) in totals {
                 let key = SeriesKey::new(metric)
@@ -217,6 +297,34 @@ mod tests {
         // Mean latency per flush window: (10+20)/2 then 40.
         assert_eq!(last(&store, REQUEST_LATENCY_MS, "v1", 1), Some(15.0));
         assert_eq!(last(&store, REQUEST_LATENCY_MS, "v1", 5), Some(40.0));
+    }
+
+    #[test]
+    fn shed_utilization_and_quantile_series_are_published() {
+        let store = SharedMetricStore::new();
+        let mut recorder = TrafficSeriesRecorder::new(store.clone(), "search");
+        recorder.register_versions(["v1"], TimestampMs::from_secs(0));
+        assert_eq!(last(&store, REQUESTS_SHED_TOTAL, "v1", 0), Some(0.0));
+        for latency in [10.0, 20.0, 30.0, 40.0, 100.0] {
+            recorder.observe_request("v1", latency, true);
+        }
+        recorder.observe_shed("v1");
+        recorder.observe_shed("v1");
+        recorder.observe_utilization("v1", 35.0);
+        recorder.observe_utilization("v1", 80.0);
+        recorder.flush(TimestampMs::from_secs(1));
+
+        assert_eq!(last(&store, REQUESTS_SHED_TOTAL, "v1", 5), Some(2.0));
+        assert_eq!(last(&store, REQUEST_LATENCY_P50_MS, "v1", 5), Some(30.0));
+        assert_eq!(last(&store, REQUEST_LATENCY_P95_MS, "v1", 5), Some(100.0));
+        // Latest utilisation of the tick wins.
+        assert_eq!(last(&store, BACKEND_UTILIZATION, "v1", 5), Some(80.0));
+
+        // The shed counter accumulates and is republished when quiet.
+        recorder.observe_shed("v1");
+        recorder.flush(TimestampMs::from_secs(2));
+        recorder.flush(TimestampMs::from_secs(3));
+        assert_eq!(last(&store, REQUESTS_SHED_TOTAL, "v1", 5), Some(3.0));
     }
 
     #[test]

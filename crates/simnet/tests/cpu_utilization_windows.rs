@@ -1,0 +1,103 @@
+//! Property tests of [`CpuResource::sample_utilization`]'s windowing: a
+//! pending execution interval that spans a sample boundary must be *split*
+//! across the windows — the busy time attributed to all windows together
+//! equals the busy time a single end-of-run sample attributes, no matter
+//! where the boundaries fall. Double-counting the overlap (or dropping the
+//! carried-over tail) breaks this conservation.
+
+use bifrost_simnet::{CpuResource, SimTime};
+use proptest::collection::vec as any_vec;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Busy seconds a sample attributes to its window: utilisation is percent
+/// of `window × cores` capacity.
+fn busy_secs(cpu: &mut CpuResource, from: SimTime, to: SimTime, cores: usize) -> f64 {
+    let percent = cpu.sample_utilization(to);
+    percent / 100.0 * (to - from).as_secs_f64() * cores as f64
+}
+
+proptest! {
+    /// Sampling at arbitrary intermediate boundaries attributes exactly the
+    /// same total busy time as one sample at the end: boundary-spanning
+    /// intervals are split, not double-counted or dropped.
+    #[test]
+    fn window_sampling_conserves_busy_time(
+        cores in 1usize..4,
+        // Arrival gaps (ms since the previous arrival) and service demands
+        // (ms), zipped pairwise below.
+        gaps in any_vec(0u64..400, 1..40),
+        demands in any_vec(1u64..120, 1..40),
+        // Sample boundaries as offsets (ms) into the run, deduplicated and
+        // sorted below.
+        boundaries in any_vec(1u64..20_000, 0..8),
+    ) {
+        // Build the identical submission sequence on two CPUs.
+        let mut sampled = CpuResource::new(cores);
+        let mut reference = CpuResource::new(cores);
+        let mut at = SimTime::ZERO;
+        let mut horizon = SimTime::ZERO;
+        for (gap_ms, demand_ms) in gaps.into_iter().zip(demands) {
+            at += Duration::from_millis(gap_ms);
+            let demand = Duration::from_millis(demand_ms);
+            let receipt = sampled.submit(at, demand);
+            reference.submit(at, demand);
+            horizon = horizon.max(receipt.completed);
+        }
+        // The end time covers every completion, so nothing is left pending.
+        let end = horizon + Duration::from_millis(1);
+
+        let mut cuts: Vec<SimTime> = boundaries
+            .into_iter()
+            .map(|ms| SimTime::ZERO + Duration::from_millis(ms))
+            .filter(|t| *t < end)
+            .collect();
+        cuts.sort();
+        cuts.dedup();
+        cuts.push(end);
+
+        let mut split_total = 0.0;
+        let mut from = SimTime::ZERO;
+        for cut in cuts {
+            split_total += busy_secs(&mut sampled, from, cut, cores);
+            from = cut;
+        }
+        let single_total = busy_secs(&mut reference, SimTime::ZERO, end, cores);
+
+        // Both equal each other and the CPU's own busy accounting.
+        prop_assert!(
+            (split_total - single_total).abs() < 1e-6,
+            "split {split_total} vs single {single_total}"
+        );
+        prop_assert!(
+            (split_total - reference.total_busy().as_secs_f64()).abs() < 1e-6,
+            "split {split_total} vs busy {}",
+            reference.total_busy().as_secs_f64()
+        );
+    }
+
+    /// A saturating window never reports more than 100% and the carried
+    /// tail of a spanning interval lands in later windows: sampling midway
+    /// through one long job attributes exactly the elapsed part.
+    #[test]
+    fn spanning_interval_is_split_at_the_boundary(
+        demand_ms in 2u64..10_000,
+        cut_fraction in 0.1f64..0.9,
+    ) {
+        let mut cpu = CpuResource::new(1);
+        cpu.submit(SimTime::ZERO, Duration::from_millis(demand_ms));
+        let total = Duration::from_millis(demand_ms).as_secs_f64();
+        let cut = SimTime::from_secs_f64(total * cut_fraction);
+        let head = busy_secs(&mut cpu, SimTime::ZERO, cut, 1);
+        // The first window is fully busy (the job spans it) ...
+        prop_assert!((head - cut.as_secs_f64()).abs() < 1e-9, "head {head}");
+        // ... and the remainder — exactly the demand minus the head — is
+        // attributed to the rest, not lost and not counted twice.
+        let end = SimTime::from_secs_f64(total + 0.001);
+        let tail = busy_secs(&mut cpu, cut, end, 1);
+        prop_assert!(
+            (head + tail - total).abs() < 1e-9,
+            "head {head} + tail {tail} != total {total}"
+        );
+    }
+}
